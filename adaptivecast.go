@@ -1,0 +1,214 @@
+// Package adaptivecast is a Go implementation of the adaptive probabilistic
+// reliable broadcast from "An Adaptive Algorithm for Efficient Message
+// Diffusion in Unreliable Environments" (Garbinato, Pedone, Schmidt —
+// DSN 2004 / EPFL TR IC/2004/30).
+//
+// The protocol guarantees, with configurable probability K, that if any
+// process delivers a broadcast then every process delivers it — while
+// sending close to the minimum possible number of messages. It does so by
+//
+//  1. learning the topology and the failure probabilities of processes and
+//     links at runtime, with sequenced heartbeats feeding per-estimate
+//     Bayesian networks whose accuracy is tracked by distortion factors;
+//  2. routing every broadcast down a Maximum Reliability Tree (MRT), the
+//     spanning tree maximizing per-edge delivery probability; and
+//  3. allocating per-edge retransmission counts with a provably optimal
+//     greedy allocator so the whole tree is reached with probability ≥ K.
+//
+// This package is the user-facing facade: it wires the live runtime
+// (goroutine nodes over an in-process lossy fabric or TCP) into a Cluster
+// you can broadcast through. The building blocks live in internal
+// packages and are exercised further by the cmd/ tools (cmd/repro
+// regenerates every figure and table of the paper) and the examples/
+// directory.
+package adaptivecast
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/node"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+)
+
+// Re-exported identifiers so applications never need the internal paths.
+type (
+	// NodeID identifies a process; IDs are dense in [0, n).
+	NodeID = topology.NodeID
+	// Link is an undirected communication link (canonicalized A < B).
+	Link = topology.Link
+	// Topology is the system graph G = (Π, Λ).
+	Topology = topology.Graph
+	// Delivery is one broadcast handed to the application.
+	Delivery = node.Delivery
+	// NodeStats are per-node protocol counters.
+	NodeStats = node.Stats
+)
+
+// DefaultK is the paper's reliability target: deliver to all processes
+// with probability 0.9999.
+const DefaultK = node.DefaultK
+
+// NewLink returns the canonical link between a and b.
+func NewLink(a, b NodeID) Link { return topology.NewLink(a, b) }
+
+// Ring returns the n-process ring topology.
+func Ring(n int) (*Topology, error) { return topology.Ring(n) }
+
+// Line returns the n-process path topology.
+func Line(n int) (*Topology, error) { return topology.Line(n) }
+
+// Star returns the hub-and-spoke topology with node 0 as hub.
+func Star(n int) (*Topology, error) { return topology.Star(n) }
+
+// Complete returns the fully connected topology.
+func Complete(n int) (*Topology, error) { return topology.Complete(n) }
+
+// Grid returns a rows×cols lattice.
+func Grid(rows, cols int) (*Topology, error) { return topology.Grid(rows, cols) }
+
+// Clustered returns `clusters` complete clusters of `size` nodes chained
+// by `bridges` inter-cluster links, plus the bridge link indices — a
+// convenient WAN-like shape for heterogeneous-reliability scenarios.
+func Clustered(clusters, size, bridges int) (*Topology, []int, error) {
+	return topology.Clustered(clusters, size, bridges)
+}
+
+// NewTopology returns an empty custom topology over n processes; add
+// links with AddLink.
+func NewTopology(n int) *Topology { return topology.New(n) }
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Topology is the system graph (required, connected).
+	Topology *Topology
+	// K is the per-broadcast reliability target (default DefaultK).
+	K float64
+	// HeartbeatEvery is δ, the knowledge-exchange period (default 1s;
+	// tests and examples often use a few milliseconds).
+	HeartbeatEvery time.Duration
+	// LinkLoss injects per-link loss probabilities into the in-process
+	// fabric, keyed by canonical link. Missing links are lossless.
+	LinkLoss map[Link]float64
+	// Seed drives the fabric's loss sampling (default 1).
+	Seed int64
+	// DeliveryBuffer sizes each node's delivery channel (default 128).
+	DeliveryBuffer int
+	// BayesIntervals is U, the estimator precision (default 100, the
+	// paper's setting).
+	BayesIntervals int
+}
+
+// Cluster is a set of live protocol nodes connected by an in-process
+// lossy fabric — the quickest way to run the full adaptive stack.
+type Cluster struct {
+	graph  *Topology
+	fabric *transport.Fabric
+	nodes  []*node.Node
+}
+
+// NewCluster builds (but does not start) one node per process of the
+// topology.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("adaptivecast: nil topology")
+	}
+	if !cfg.Topology.Connected() {
+		return nil, errors.New("adaptivecast: topology must be connected")
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{Seed: cfg.Seed})
+	for l, p := range cfg.LinkLoss {
+		if !cfg.Topology.HasLink(l.A, l.B) {
+			_ = fabric.Close()
+			return nil, fmt.Errorf("adaptivecast: loss configured for non-existent link %v", l)
+		}
+		if err := fabric.SetLoss(l.A, l.B, p); err != nil {
+			_ = fabric.Close()
+			return nil, err
+		}
+	}
+	n := cfg.Topology.NumNodes()
+	c := &Cluster{graph: cfg.Topology, fabric: fabric, nodes: make([]*node.Node, n)}
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		nd, err := node.New(node.Config{
+			ID:             id,
+			NumProcs:       n,
+			Neighbors:      cfg.Topology.Neighbors(id),
+			K:              cfg.K,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			Knowledge:      knowledge.Params{Intervals: cfg.BayesIntervals},
+			DeliveryBuffer: cfg.DeliveryBuffer,
+		}, fabric.Endpoint(id))
+		if err != nil {
+			_ = fabric.Close()
+			return nil, fmt.Errorf("adaptivecast: node %d: %w", i, err)
+		}
+		c.nodes[i] = nd
+	}
+	return c, nil
+}
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Topology returns the cluster's graph.
+func (c *Cluster) Topology() *Topology { return c.graph }
+
+// Start launches every node's heartbeat activity on real timers.
+func (c *Cluster) Start() {
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+}
+
+// Tick advances every node one heartbeat period synchronously — the
+// deterministic alternative to Start for tests and paced demos.
+func (c *Cluster) Tick() {
+	for _, nd := range c.nodes {
+		nd.Tick()
+	}
+}
+
+// Broadcast reliably broadcasts body from the given node. It returns the
+// broadcast sequence number and the planned data-message count Σ m[j].
+func (c *Cluster) Broadcast(from NodeID, body []byte) (seq uint64, planned int, err error) {
+	if int(from) >= len(c.nodes) || from < 0 {
+		return 0, 0, fmt.Errorf("adaptivecast: node %d out of range", from)
+	}
+	return c.nodes[from].Broadcast(body)
+}
+
+// Deliveries returns the delivery channel of one node.
+func (c *Cluster) Deliveries(id NodeID) <-chan Delivery {
+	return c.nodes[id].Deliveries()
+}
+
+// Stats returns the protocol counters of one node.
+func (c *Cluster) Stats(id NodeID) NodeStats { return c.nodes[id].Stats() }
+
+// CrashEstimate returns node `at`'s current estimate of process `of`'s
+// per-period crash probability and the estimate's distortion.
+func (c *Cluster) CrashEstimate(at, of NodeID) (mean float64, distortion int) {
+	return c.nodes[at].CrashEstimate(of)
+}
+
+// LossEstimate returns node `at`'s current estimate of a link's loss
+// probability; ok is false while the link is still unknown to that node.
+func (c *Cluster) LossEstimate(at NodeID, l Link) (mean float64, distortion int, ok bool) {
+	return c.nodes[at].LossEstimate(l)
+}
+
+// KnownLinks reports the links node `at` has discovered so far.
+func (c *Cluster) KnownLinks(at NodeID) []Link { return c.nodes[at].KnownLinks() }
+
+// Close stops every node and tears down the fabric.
+func (c *Cluster) Close() error {
+	for _, nd := range c.nodes {
+		nd.Stop()
+	}
+	return c.fabric.Close()
+}

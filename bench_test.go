@@ -1,0 +1,402 @@
+// Benchmarks regenerating every table and figure of the paper (reduced
+// parameter grids with the same shape; run cmd/repro -full for the
+// paper-scale sweeps) plus micro-benchmarks of the hot components. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+package adaptivecast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/broadcast"
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/experiments"
+	"adaptivecast/internal/gossip"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/mrt"
+	"adaptivecast/internal/optimize"
+	"adaptivecast/internal/sim"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper artifact.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1 regenerates Table 1 (Bayesian belief adaptation, U=5).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if rows[4].BeliefAfter < 0.35 {
+			b.Fatal("table 1 values drifted")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (two-path adaptive vs gossip,
+// closed form over the paper's full α and L grid).
+func BenchmarkFigure1(b *testing.B) {
+	p := experiments.DefaultFigure1()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure1(p)
+		if len(res.Series) != 3 {
+			b.Fatal("figure 1 shape drifted")
+		}
+	}
+}
+
+// BenchmarkFigure4a regenerates Figure 4(a): reference/adaptive ratio with
+// reliable links, crash probability varying.
+func BenchmarkFigure4a(b *testing.B) {
+	benchFigure4(b, false)
+}
+
+// BenchmarkFigure4b regenerates Figure 4(b): reference/adaptive ratio with
+// reliable processes, loss probability varying.
+func BenchmarkFigure4b(b *testing.B) {
+	benchFigure4(b, true)
+}
+
+func benchFigure4(b *testing.B, varyLoss bool) {
+	p := experiments.Figure4Params{
+		N:              60,
+		Connectivities: []int{2, 8, 16},
+		Probs:          []float64{0.03},
+		VaryLoss:       varyLoss,
+		Graphs:         1,
+		GossipRuns:     5,
+		Seed:           1,
+	}
+	b.ResetTimer()
+	var lastRatio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys := res.Series[0].Y
+		lastRatio = ys[len(ys)-1]
+	}
+	b.ReportMetric(lastRatio, "ratio@conn16")
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a): convergence effort with
+// reliable links, crash probability varying.
+func BenchmarkFigure5a(b *testing.B) {
+	benchFigure5(b, false)
+}
+
+// BenchmarkFigure5b regenerates Figure 5(b): convergence effort with
+// reliable processes, loss probability varying.
+func BenchmarkFigure5b(b *testing.B) {
+	benchFigure5(b, true)
+}
+
+func benchFigure5(b *testing.B, varyLoss bool) {
+	p := experiments.Figure5Params{
+		N:              40,
+		Connectivities: []int{2, 8},
+		Probs:          []float64{0.03},
+		VaryLoss:       varyLoss,
+		Graphs:         1,
+		Seed:           1,
+	}
+	b.ResetTimer()
+	var lastEffort float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys := res.Series[0].Y
+		lastEffort = ys[len(ys)-1]
+	}
+	b.ReportMetric(lastEffort, "msgs/link")
+}
+
+// BenchmarkFigure6 regenerates Figure 6: scalability (ring vs tree).
+func BenchmarkFigure6(b *testing.B) {
+	p := experiments.Figure6Params{
+		Sizes:  []int{60, 120},
+		Graphs: 1,
+		Seed:   1,
+	}
+	b.ResetTimer()
+	var ringAtMax float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ringAtMax = res.Series[0].Y[1]
+	}
+	b.ReportMetric(ringAtMax, "ring-msgs/link")
+}
+
+// BenchmarkAblationAllocation regenerates the greedy-vs-uniform ablation.
+func BenchmarkAblationAllocation(b *testing.B) {
+	p := experiments.AblationParams{N: 40, Graphs: 2, Seed: 1, HeterogeneousLoss: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAllocation(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTree regenerates the MRT-vs-other-trees ablation.
+func BenchmarkAblationTree(b *testing.B) {
+	p := experiments.AblationParams{N: 40, Graphs: 2, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTree(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core components.
+// ---------------------------------------------------------------------------
+
+func benchTopology(b *testing.B, n, conn int) (*topology.Graph, *config.Config) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g, err := topology.RandomConnected(n, conn, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := config.Uniform(g, 0.01, 0.03)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, cfg
+}
+
+// BenchmarkMRTBuild measures Maximum Reliability Tree construction on the
+// paper's evaluation scale (100 processes, 8 links each).
+func BenchmarkMRTBuild(b *testing.B) {
+	g, cfg := benchTopology(b, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mrt.Build(g, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeGreedy measures the heap-based allocator on a 99-edge
+// tree at K=0.9999.
+func BenchmarkOptimizeGreedy(b *testing.B) {
+	g, cfg := benchTopology(b, 100, 8)
+	tree, err := mrt.Build(g, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lams, err := tree.Lambdas(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.Greedy(lams, 0.9999, optimize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeGreedyNaive measures the literal Algorithm 2 for
+// comparison with the heap-accelerated version.
+func BenchmarkOptimizeGreedyNaive(b *testing.B) {
+	g, cfg := benchTopology(b, 100, 8)
+	tree, err := mrt.Build(g, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lams, err := tree.Lambdas(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.GreedyNaive(lams, 0.9999, optimize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReach measures one reach-function evaluation on 99 edges.
+func BenchmarkReach(b *testing.B) {
+	lams := make([]float64, 99)
+	m := make([]int, 99)
+	for i := range lams {
+		lams[i] = 0.05
+		m[i] = 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if optimize.Reach(lams, m) <= 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkBayesUpdate measures one Bayes step at the paper's precision
+// (U = 100 intervals).
+func BenchmarkBayesUpdate(b *testing.B) {
+	e := bayes.MustNew(bayes.DefaultIntervals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10 == 0 {
+			e.ObserveFailure(1)
+		} else {
+			e.ObserveSuccess(1)
+		}
+	}
+}
+
+// BenchmarkGossipRun measures one reference-gossip broadcast to quiescence
+// (n=100, connectivity 8, L=0.03).
+func BenchmarkGossipRun(b *testing.B) {
+	_, cfg := benchTopology(b, 100, 8)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gossip.Run(cfg, 0, rng, gossip.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeartbeatPeriod measures one full heartbeat period of the
+// adaptive cluster on the simulator (100 nodes, connectivity 8): Events
+// 2–3 on every node plus every heartbeat merge.
+func BenchmarkHeartbeatPeriod(b *testing.B) {
+	_, cfg := benchTopology(b, 100, 8)
+	eng := sim.NewEngine(11)
+	net := sim.NewNetwork(eng, cfg, sim.Options{DisableCrashSampling: true})
+	runner, err := broadcast.NewRunner(net, broadcast.RunnerOptions{ModelCrashesAsSkips: true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(sim.Time(i + 1))
+	}
+}
+
+// BenchmarkSnapshotEncode measures serializing one knowledge snapshot
+// (live-runtime heartbeat payload) for a 100-process view.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	v, err := knowledge.NewView(0, 100, []topology.NodeID{1, 2, 3, 4}, nil, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.BeginPeriod()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: v.Snapshot()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkAdaptiveBroadcastPlan measures planning one adaptive broadcast
+// (estimated config → MRT → allocation) from a converged view.
+func BenchmarkAdaptiveBroadcastPlan(b *testing.B) {
+	_, cfg := benchTopology(b, 100, 8)
+	eng := sim.NewEngine(13)
+	net := sim.NewNetwork(eng, cfg, sim.Options{DisableCrashSampling: true})
+	runner, err := broadcast.NewRunner(net, broadcast.RunnerOptions{ModelCrashesAsSkips: true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner.Start()
+	eng.RunUntil(60) // enough periods to learn the topology
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := runner.Proc(0).Broadcast(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode measures parsing one heartbeat frame (the live
+// runtime's hottest inbound path).
+func BenchmarkWireDecode(b *testing.B) {
+	v, err := knowledge.NewView(0, 100, []topology.NodeID{1, 2, 3, 4}, nil, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.BeginPeriod()
+	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: v.Snapshot()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGossipMeanField measures the analytic fixed-step predictor on
+// the paper's scale.
+func BenchmarkGossipMeanField(b *testing.B) {
+	_, cfg := benchTopology(b, 100, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gossip.MeanField(cfg, 0, 0.9999, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeterogeneous regenerates the heterogeneity extension figure.
+func BenchmarkHeterogeneous(b *testing.B) {
+	p := experiments.HeterogeneousParams{
+		N: 50, Connectivity: 6, Spreads: []float64{0, 1}, Graphs: 1, GossipRuns: 5, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Heterogeneous(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnowledgeMerge measures one heartbeat merge (Event 1) between
+// two 100-process views with 400 known links — the simulator's hot path.
+func BenchmarkKnowledgeMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g, err := topology.RandomConnected(100, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := knowledge.NewInterner()
+	for _, l := range g.Links() {
+		in.Intern(l)
+	}
+	a, err := knowledge.NewView(0, 100, g.Neighbors(0), in, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb := g.Neighbors(0)[0]
+	src, err := knowledge.NewView(nb, 100, g.Neighbors(nb), in, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.BeginPeriod()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.MergeFrom(nb, src.SelfSeq(), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// newPipe returns a blocking reader and its write end; closing the writer
+// ends the reader's stream.
+func newPipe() (io.Reader, io.Closer) {
+	r, w := io.Pipe()
+	return r, w
+}
+
+// safeBuffer is a mutex-guarded output sink: the daemons write from their
+// own goroutines while the test polls String.
+type safeBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// sigSelf delivers SIGTERM to the test process; the daemons' handlers
+// (registered via signal.Notify) absorb it.
+func sigSelf(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}

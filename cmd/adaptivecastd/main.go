@@ -1,0 +1,159 @@
+// Command adaptivecastd runs one protocol node as a long-lived daemon
+// over TCP, configured from a JSON cluster file. It is the deployable
+// form of the library: point n daemons at the same cluster file (each
+// with its own -id), and they discover link qualities, exchange
+// heartbeats, and serve reliable broadcasts.
+//
+// Usage:
+//
+//	adaptivecastd -config cluster.json -id 2 [-data /var/lib/adaptivecast]
+//
+// Cluster file format (see ExampleConfig in config.go):
+//
+//	{
+//	  "k": 0.9999,
+//	  "heartbeatMillis": 1000,
+//	  "nodes": [
+//	    {"id": 0, "addr": "10.0.0.1:7946", "neighbors": [1, 2]},
+//	    {"id": 1, "addr": "10.0.0.2:7946", "neighbors": [0, 2]},
+//	    {"id": 2, "addr": "10.0.0.3:7946", "neighbors": [0, 1]}
+//	  ]
+//	}
+//
+// The daemon broadcasts every line read from stdin and prints every
+// delivery to stdout, making it composable with shell pipelines. SIGINT
+// and SIGTERM shut it down cleanly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"adaptivecast/internal/dedup"
+	"adaptivecast/internal/node"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptivecastd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("adaptivecastd", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to the JSON cluster file (required)")
+		id         = fs.Int("id", -1, "this node's ID within the cluster file (required)")
+		dataDir    = fs.String("data", "", "data directory for stable storage and the exactly-once log (empty = volatile)")
+		printCfg   = fs.Bool("print-example-config", false, "print an example cluster file and exit")
+		oneShot    = fs.String("broadcast", "", "broadcast this message once nodes are warm, then keep serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *printCfg {
+		fmt.Fprintln(stdout, ExampleConfig)
+		return nil
+	}
+	if *configPath == "" || *id < 0 {
+		return fmt.Errorf("both -config and -id are required (see -print-example-config)")
+	}
+
+	cc, err := LoadClusterConfig(*configPath)
+	if err != nil {
+		return err
+	}
+	self, err := cc.Node(topology.NodeID(*id))
+	if err != nil {
+		return err
+	}
+
+	tcp, err := transport.NewTCP(self.ID, self.Addr, cc.AddressBook(), transport.TCPOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tcp.Close() }()
+
+	nodeCfg := node.Config{
+		ID:             self.ID,
+		NumProcs:       len(cc.Nodes),
+		Neighbors:      self.Neighbors,
+		K:              cc.K,
+		HeartbeatEvery: cc.HeartbeatPeriod(),
+		Piggyback:      cc.Piggyback,
+	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return err
+		}
+		nodeCfg.Storage = node.NewFileStorage(filepath.Join(*dataDir, fmt.Sprintf("node-%d.mark", *id)))
+		dlog, err := dedup.Open(filepath.Join(*dataDir, fmt.Sprintf("node-%d.dedup", *id)))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dlog.Close() }()
+		nodeCfg.DedupLog = dlog
+	}
+
+	nd, err := node.New(nodeCfg, tcp)
+	if err != nil {
+		return err
+	}
+	nd.Start()
+	defer nd.Stop()
+	fmt.Fprintf(stdout, "node %d up on %s (%d peers, δ=%v, K=%g)\n",
+		self.ID, tcp.Addr(), len(cc.Nodes)-1, cc.HeartbeatPeriod(), cc.K)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	// stdin lines become broadcasts.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+
+	if *oneShot != "" {
+		if _, _, err := nd.Broadcast([]byte(*oneShot)); err != nil {
+			return err
+		}
+	}
+
+	for {
+		select {
+		case d := <-nd.Deliveries():
+			fmt.Fprintf(stdout, "deliver origin=%d seq=%d: %s\n", d.Origin, d.Seq, d.Body)
+		case line, ok := <-lines:
+			if !ok {
+				// stdin closed (pipeline ended): keep serving deliveries
+				// until signaled.
+				lines = nil
+				continue
+			}
+			if _, planned, err := nd.Broadcast([]byte(line)); err != nil {
+				fmt.Fprintf(stdout, "broadcast error: %v\n", err)
+			} else {
+				fmt.Fprintf(stdout, "broadcast planned=%d\n", planned)
+			}
+		case sig := <-sigs:
+			st := nd.Stats()
+			fmt.Fprintf(stdout, "shutting down on %v (hb sent %d, recv %d, delivered %d)\n",
+				sig, st.HeartbeatsSent, st.HeartbeatsReceived, st.Delivered)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command nodedemo runs a live cluster of protocol nodes over real TCP
+// sockets on localhost: every node learns the topology and link qualities
+// via heartbeats, then one node broadcasts and the demo reports the
+// deliveries and the learned estimates.
+//
+// Usage:
+//
+//	nodedemo -n 8 -heartbeat 50ms -warmup 40 -topology ring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adaptivecast/internal/node"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+	"adaptivecast/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nodedemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nodedemo", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 8, "number of nodes")
+		shape     = fs.String("topology", "ring", "topology: ring, star, grid, complete")
+		heartbeat = fs.Duration("heartbeat", 50*time.Millisecond, "heartbeat period δ")
+		warmup    = fs.Int("warmup", 40, "heartbeat periods before broadcasting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildTopology(*shape, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "starting %d nodes over TCP (%s, %d links), δ=%v\n",
+		g.NumNodes(), *shape, g.NumLinks(), *heartbeat)
+
+	// Start one TCP transport per node on an ephemeral port, then teach
+	// everyone the address book.
+	transports := make([]*transport.TCP, g.NumNodes())
+	defer func() {
+		for _, tr := range transports {
+			if tr != nil {
+				_ = tr.Close()
+			}
+		}
+	}()
+	for i := range transports {
+		tr, err := transport.NewTCP(topology.NodeID(i), "127.0.0.1:0", nil, transport.TCPOptions{})
+		if err != nil {
+			return err
+		}
+		transports[i] = tr
+	}
+	for i, tr := range transports {
+		for j, other := range transports {
+			if i != j {
+				tr.AddPeer(topology.NodeID(j), other.Addr().String())
+			}
+		}
+	}
+
+	nodes := make([]*node.Node, g.NumNodes())
+	for i := range nodes {
+		id := topology.NodeID(i)
+		nd, err := node.New(node.Config{
+			ID:             id,
+			NumProcs:       g.NumNodes(),
+			Neighbors:      g.Neighbors(id),
+			HeartbeatEvery: *heartbeat,
+		}, transports[i])
+		if err != nil {
+			return err
+		}
+		nodes[i] = nd
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	fmt.Fprintf(out, "warming up for %d heartbeat periods...\n", *warmup)
+	time.Sleep(time.Duration(*warmup) * *heartbeat)
+
+	for i, nd := range nodes {
+		fmt.Fprintf(out, "node %d: knows %d/%d links, %d heartbeats received\n",
+			i, len(nd.KnownLinks()), g.NumLinks(), nd.Stats().HeartbeatsReceived)
+	}
+
+	_, planned, err := nodes[0].Broadcast([]byte("hello from node 0 over TCP"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nnode 0 broadcast planned %d data messages\n", planned)
+
+	deadline := time.After(5 * time.Second)
+	for i, nd := range nodes {
+		select {
+		case d := <-nd.Deliveries():
+			fmt.Fprintf(out, "node %d delivered %q (origin %d, via %d)\n",
+				i, d.Body, d.Origin, d.From)
+		case <-deadline:
+			return fmt.Errorf("node %d did not deliver in time", i)
+		}
+	}
+	if nodes[0].Stats().FallbackFloods > 0 {
+		fmt.Fprintln(out, "note: broadcast used warm-up flooding (topology not fully learned yet)")
+	} else {
+		fmt.Fprintln(out, "broadcast rode a Maximum Reliability Tree")
+	}
+
+	// Show the wire-level framing once, for the curious.
+	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: &wire.DataMsg{
+		Origin: 0, Seq: 999, Root: 0, Body: []byte("sizing probe"),
+	}})
+	if err == nil {
+		fmt.Fprintf(out, "(a minimal data frame is %d bytes on the wire)\n", len(frame))
+	}
+	return nil
+}
+
+func buildTopology(shape string, n int) (*topology.Graph, error) {
+	switch shape {
+	case "ring":
+		return topology.Ring(n)
+	case "star":
+		return topology.Star(n)
+	case "complete":
+		return topology.Complete(n)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return topology.Grid(side, side)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", shape)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifacts(t *testing.T) {
+	cases := map[string][]string{
+		"table1": {"0.36"},
+		"fig1":   {"fig1", "0.875"},
+	}
+	for exp, wants := range cases {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", exp}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		for _, want := range wants {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("%s output missing %q:\n%s", exp, want, out.String())
+			}
+		}
+	}
+}
+
+func TestRunFigure4Reduced(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig4a", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig4a") || !strings.Contains(out.String(), "connectivity") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunChartFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1", "-chart"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "└") {
+		t.Errorf("chart axis missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown artifact should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallConfiguration(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "20", "-conn", "4", "-p", "0", "-l", "0.03",
+		"-gossip-runs", "5", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"reference gossip:",
+		"optimal algorithm:",
+		"ratio ref/optimal:",
+		"adaptive algorithm:",
+		"convergence effort:",
+		"adaptive/optimal:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunConvergenceBudgetExhausted(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "20", "-conn", "4", "-l", "0.05",
+		"-gossip-runs", "3", "-max-periods", "25",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "did not converge") {
+		t.Errorf("expected non-convergence notice:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "notanumber"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-n", "10", "-conn", "20"}, &out); err == nil {
+		t.Error("impossible connectivity should fail")
+	}
+}

@@ -1,0 +1,350 @@
+// Package bayes implements the paper's reliability-belief machinery
+// (Algorithm 5): a process approximates the unknown failure probability of
+// a process or link by maintaining U probability intervals and, for each,
+// a belief that the true probability lies in that interval. Observing a
+// failure (or a failure suspicion) shifts belief mass toward lossy
+// intervals via Bayes' rule; observing a success shifts it toward reliable
+// intervals. This forms the tiny Bayesian network b → s the paper
+// describes.
+//
+// The invariant Σ_u P_B[u] = 1 holds after every update (Table 1 of the
+// paper illustrates one decreaseReliability step with U = 5).
+//
+// Beliefs are stored in log space so that long one-sided evidence runs
+// (thousands of consecutive successes on a reliable link) cannot underflow
+// an interval's belief to exactly zero — a zero would be unrecoverable
+// under multiplicative Bayes updates and would freeze the estimator. The
+// exposed API still speaks in plain probabilities.
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DefaultIntervals is the interval count the paper uses in its simulations
+// ("precision of probabilistic intervals", U = 100, Algorithm 5 line 2).
+const DefaultIntervals = 100
+
+// grid is the immutable interval geometry of an estimator: the midpoints
+// and their cached log likelihoods. Estimators with the same interval
+// count share one grid (it never changes after construction), so cloning
+// an estimator copies only the belief vector. Uniform grids are memoized
+// per interval count; Refine builds private grids.
+type grid struct {
+	mid     []float64 // P_{F|B}[u] = (2u-1)/(2U): midpoint of interval u
+	logFail []float64 // log(mid), cached
+	logSucc []float64 // log(1-mid), cached
+}
+
+var (
+	gridsMu sync.Mutex
+	grids   = map[int]*grid{} // uniform grids, keyed by interval count
+)
+
+// uniformGrid returns the shared uniform grid with u intervals.
+func uniformGrid(u int) *grid {
+	gridsMu.Lock()
+	defer gridsMu.Unlock()
+	if g, ok := grids[u]; ok {
+		return g
+	}
+	g := gridFromMids(uniformMids(u))
+	grids[u] = g
+	return g
+}
+
+// uniformMids returns the paper's midpoints (2u-1)/2U.
+func uniformMids(u int) []float64 {
+	mids := make([]float64, u)
+	for i := 0; i < u; i++ {
+		mids[i] = float64(2*i+1) / float64(2*u)
+	}
+	return mids
+}
+
+// gridFromMids builds a grid, caching the log likelihoods. Midpoints must
+// lie strictly inside (0, 1).
+func gridFromMids(mids []float64) *grid {
+	g := &grid{
+		mid:     mids,
+		logFail: make([]float64, len(mids)),
+		logSucc: make([]float64, len(mids)),
+	}
+	for i, m := range mids {
+		g.logFail[i] = math.Log(m)
+		g.logSucc[i] = math.Log(1 - m)
+	}
+	return g
+}
+
+// Estimator approximates one failure probability with U probability
+// intervals and per-interval beliefs. The zero value is unusable; use New.
+//
+// Estimators are not safe for concurrent mutation; the knowledge layer
+// serializes access, and the live node guards views with a mutex.
+type Estimator struct {
+	g      *grid
+	logBel []float64 // unnormalized log beliefs, max pinned at 0
+	obs    int       // total evidence count (failures + successes)
+}
+
+// New returns an estimator over u intervals with a uniform prior, matching
+// initializeReliability() of Algorithm 5. u must be at least 2.
+func New(u int) (*Estimator, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("bayes: need at least 2 intervals, got %d", u)
+	}
+	return &Estimator{g: uniformGrid(u), logBel: make([]float64, u)}, nil
+}
+
+// MustNew is New for callers with a compile-time constant interval count.
+// It panics on invalid u.
+func MustNew(u int) *Estimator {
+	e, err := New(u)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Intervals returns U, the number of probability intervals.
+func (e *Estimator) Intervals() int { return len(e.g.mid) }
+
+// ObserveFailure applies decreaseReliability(estimate, factor): it updates
+// the beliefs as if `factor` independent failure events had been observed.
+// factor <= 0 is a no-op.
+func (e *Estimator) ObserveFailure(factor int) {
+	if factor <= 0 {
+		return
+	}
+	e.obs += factor
+	for i := range e.logBel {
+		e.logBel[i] += float64(factor) * e.g.logFail[i]
+	}
+	e.rebase()
+}
+
+// ObserveSuccess applies increaseReliability(estimate, factor): it updates
+// the beliefs as if `factor` independent success (absence-of-failure)
+// events had been observed. factor <= 0 is a no-op.
+func (e *Estimator) ObserveSuccess(factor int) {
+	if factor <= 0 {
+		return
+	}
+	e.obs += factor
+	for i := range e.logBel {
+		e.logBel[i] += float64(factor) * e.g.logSucc[i]
+	}
+	e.rebase()
+}
+
+// rebase shifts log beliefs so the maximum is zero, keeping them in a
+// range where exp() is meaningful without changing the distribution.
+func (e *Estimator) rebase() {
+	max := e.logBel[0]
+	for _, lb := range e.logBel[1:] {
+		if lb > max {
+			max = lb
+		}
+	}
+	for i := range e.logBel {
+		e.logBel[i] -= max
+	}
+}
+
+// norm returns Σ_u exp(logBel[u]); at least 1 because rebase pins the
+// maximum at 0.
+func (e *Estimator) norm() float64 {
+	var z float64
+	for _, lb := range e.logBel {
+		z += math.Exp(lb)
+	}
+	return z
+}
+
+// Mean returns the posterior mean failure probability Σ_u P_B[u]*mid_u.
+// This is the point estimate the adaptive protocol feeds into the MRT and
+// optimize() computations.
+func (e *Estimator) Mean() float64 {
+	var m, z float64
+	for i, lb := range e.logBel {
+		w := math.Exp(lb)
+		z += w
+		m += w * e.g.mid[i]
+	}
+	return m / z
+}
+
+// MAP returns the index of the maximum-a-posteriori interval and its
+// belief. Ties break toward the more reliable (lower) interval.
+func (e *Estimator) MAP() (interval int, belief float64) {
+	best, bestLB := 0, e.logBel[0]
+	for i := 1; i < len(e.logBel); i++ {
+		if e.logBel[i] > bestLB {
+			best, bestLB = i, e.logBel[i]
+		}
+	}
+	return best, math.Exp(bestLB) / e.norm()
+}
+
+// IntervalOf returns the index of the interval containing probability p.
+// p is clamped to [0, 1]; p == 1 falls in the last interval, matching the
+// paper's closed final interval [1-1/U, 1]. (For refined estimators the
+// grid covers a sub-range; probabilities outside it clamp to the boundary
+// intervals.)
+func (e *Estimator) IntervalOf(p float64) int {
+	u := len(e.g.mid)
+	width := e.intervalWidth()
+	lo := e.g.mid[0] - width/2
+	i := int((p - lo) / width)
+	if i < 0 {
+		return 0
+	}
+	if i >= u {
+		return u - 1
+	}
+	return i
+}
+
+// intervalWidth returns the width of one probability interval.
+func (e *Estimator) intervalWidth() float64 {
+	if len(e.g.mid) == 1 {
+		return 1
+	}
+	return e.g.mid[1] - e.g.mid[0]
+}
+
+// IntervalBounds returns the [lo, hi) bounds of interval u (the final
+// interval is closed: [1-1/U, 1]).
+func (e *Estimator) IntervalBounds(u int) (lo, hi float64) {
+	width := e.intervalWidth()
+	lo = e.g.mid[u] - width/2
+	return lo, lo + width
+}
+
+// Belief returns P_B[u].
+func (e *Estimator) Belief(u int) float64 {
+	return math.Exp(e.logBel[u]) / e.norm()
+}
+
+// Beliefs returns the normalized belief vector.
+func (e *Estimator) Beliefs() []float64 {
+	out := make([]float64, len(e.logBel))
+	z := e.norm()
+	for i, lb := range e.logBel {
+		out[i] = math.Exp(lb) / z
+	}
+	return out
+}
+
+// Midpoints returns a copy of the interval midpoint vector P_{F|B}.
+func (e *Estimator) Midpoints() []float64 {
+	out := make([]float64, len(e.g.mid))
+	copy(out, e.g.mid)
+	return out
+}
+
+// BeliefSum returns Σ_u P_B[u]; it is 1 by construction up to
+// floating-point error (the paper's stated invariant of Algorithm 4).
+func (e *Estimator) BeliefSum() float64 {
+	var s float64
+	for _, b := range e.Beliefs() {
+		s += b
+	}
+	return s
+}
+
+// Clone returns an independent copy of the estimator. The interval grid is
+// immutable and shared, so only the belief vector is copied — cloning is
+// what the adaptive protocol does when a process adopts a neighbor's
+// less-distorted estimate (Algorithm 3) and needs to evolve it locally.
+func (e *Estimator) Clone() *Estimator {
+	return &Estimator{g: e.g, logBel: append([]float64(nil), e.logBel...), obs: e.obs}
+}
+
+// CopyFrom overwrites e's state with src's without allocating, provided
+// both have the same interval count.
+func (e *Estimator) CopyFrom(src *Estimator) error {
+	if len(e.logBel) != len(src.logBel) {
+		return fmt.Errorf("bayes: interval mismatch %d vs %d", len(e.logBel), len(src.logBel))
+	}
+	e.g = src.g
+	copy(e.logBel, src.logBel)
+	e.obs = src.obs
+	return nil
+}
+
+// Observations returns the total evidence count absorbed so far. The
+// dynamic-refinement extension gates on it: refining before enough
+// evidence has accumulated risks re-gridding around a transient MAP.
+func (e *Estimator) Observations() int { return e.obs }
+
+// EdgeStuck reports whether at least minMass posterior mass sits on the
+// grid's first or last interval — for a refined estimator this means the
+// truth most likely lies outside the refined window and the refinement
+// should be abandoned.
+func (e *Estimator) EdgeStuck(minMass float64) bool {
+	mapIdx, mass := e.MAP()
+	if mass < minMass {
+		return false
+	}
+	return mapIdx == 0 || mapIdx == len(e.logBel)-1
+}
+
+// Converged reports whether the estimator has locked onto the true failure
+// probability: the MAP interval contains truth (within `slack` neighboring
+// intervals) and carries at least minBelief posterior mass. This is the
+// convergence criterion behind the paper's Figures 5 and 6 ("all processes
+// in the system learn the reliability probabilities" — i.e. the Bayesian
+// networks have found the right probability interval).
+func (e *Estimator) Converged(truth float64, slack int, minBelief float64) bool {
+	mapIdx, b := e.MAP()
+	if b < minBelief {
+		return false
+	}
+	want := e.IntervalOf(truth)
+	diff := mapIdx - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= slack
+}
+
+// Refine is the paper's proposed future-work extension ("dynamically
+// increasing the number of probabilistic intervals when better precision
+// is required"): it re-grids the estimator so the same number of intervals
+// covers only the current MAP interval's neighborhood. The accumulated
+// posterior carries over — each refined interval inherits the belief
+// density of the coarse interval containing it — so past evidence keeps
+// constraining the estimate at coarse granularity while new evidence
+// resolves the sub-interval detail.
+func (e *Estimator) Refine() *Estimator {
+	mapIdx, _ := e.MAP()
+	lo, hi := e.IntervalBounds(mapIdx)
+	// Widen by one interval on each side so a truth near the boundary is
+	// not excluded by an early, slightly-off MAP.
+	width := hi - lo
+	lo -= width
+	hi += width
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	u := len(e.g.mid)
+	mids := make([]float64, u)
+	logBel := make([]float64, u)
+	span := hi - lo
+	for i := 0; i < u; i++ {
+		mids[i] = lo + span*float64(2*i+1)/float64(2*u)
+		// Inherit the density of the coarse interval this midpoint falls
+		// in (piecewise-constant prior carry-over).
+		logBel[i] = e.logBel[e.IntervalOf(mids[i])]
+	}
+	out := &Estimator{g: gridFromMids(mids), logBel: logBel, obs: e.obs}
+	out.rebase()
+	return out
+}

@@ -1,0 +1,61 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is the serializable form of an Estimator, used when estimates ride
+// inside heartbeat messages over a real transport. Midpoints and log
+// beliefs fully determine the posterior.
+type State struct {
+	Mids       []float64 `json:"mids"`
+	LogBeliefs []float64 `json:"logBeliefs"`
+}
+
+// State returns a deep-copied snapshot of the estimator.
+func (e *Estimator) State() State {
+	return State{
+		Mids:       append([]float64(nil), e.g.mid...),
+		LogBeliefs: append([]float64(nil), e.logBel...),
+	}
+}
+
+// NewFromState reconstructs an estimator from a snapshot, validating that
+// the state is well-formed (matching lengths, midpoints strictly inside
+// (0,1), log beliefs non-positive). Estimators carrying the standard
+// uniform midpoints share the memoized grid; refined grids get a private
+// one.
+func NewFromState(s State) (*Estimator, error) {
+	u := len(s.Mids)
+	if u < 2 {
+		return nil, fmt.Errorf("bayes: state has %d intervals, need >= 2", u)
+	}
+	if len(s.LogBeliefs) != u {
+		return nil, fmt.Errorf("bayes: state mismatch: %d mids, %d beliefs", u, len(s.LogBeliefs))
+	}
+	for i := 0; i < u; i++ {
+		m := s.Mids[i]
+		if !(m > 0 && m < 1) {
+			return nil, fmt.Errorf("bayes: state midpoint %v outside (0,1)", m)
+		}
+		lb := s.LogBeliefs[i]
+		if math.IsNaN(lb) || lb > 1e-9 {
+			return nil, fmt.Errorf("bayes: state log belief %v invalid", lb)
+		}
+	}
+	g := uniformGrid(u)
+	if !midsEqual(g.mid, s.Mids) {
+		g = gridFromMids(append([]float64(nil), s.Mids...))
+	}
+	return &Estimator{g: g, logBel: append([]float64(nil), s.LogBeliefs...)}, nil
+}
+
+func midsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

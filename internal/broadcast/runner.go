@@ -1,0 +1,204 @@
+package broadcast
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/sim"
+	"adaptivecast/internal/topology"
+)
+
+// HeartbeatSize is the simulated heartbeat size in bytes. The paper's
+// simulations used 50 KB heartbeats carrying a small Bayesian network per
+// process plus link information.
+const HeartbeatSize = 50 * 1024
+
+// hbPayload is the simulator's heartbeat: the sequence number it was sent
+// with plus read-only access to the sender's view (the simulation fast
+// path; the live runtime serializes knowledge.Snapshot instead, and the
+// equivalence of the two merge paths is unit-tested in package knowledge).
+type hbPayload struct {
+	seq uint64
+	src *knowledge.View
+}
+
+// RunnerOptions tunes the simulated adaptive cluster.
+type RunnerOptions struct {
+	// K is the reliability target (default DefaultK).
+	K float64
+	// Delta is the heartbeat period δ (default 1 time unit).
+	Delta sim.Time
+	// Params tunes each process's knowledge view.
+	Params knowledge.Params
+	// ModelCrashesAsSkips makes the runner sample each process's
+	// per-period crash from the ground-truth configuration: a crashed
+	// process skips its whole period (no heartbeat, no sequence number
+	// consumed) and books an Event 4 self-observation. Use together with
+	// sim.Options.DisableCrashSampling so crashes are not double-counted.
+	// This is the convergence-experiment model (Figures 5 and 6).
+	ModelCrashesAsSkips bool
+	// Piggyback attaches each sender's knowledge view to outgoing data
+	// messages (the paper's Section 4.1 bandwidth optimization), so
+	// application traffic spreads estimates in addition to heartbeats.
+	Piggyback bool
+}
+
+func (o RunnerOptions) withDefaults() RunnerOptions {
+	if o.K == 0 {
+		o.K = DefaultK
+	}
+	if o.Delta == 0 {
+		o.Delta = 1
+	}
+	return o
+}
+
+// Runner wires a full adaptive cluster onto a simulated network: one
+// knowledge view and one adaptive broadcast process per node, plus the
+// periodic heartbeat activity of Algorithm 4.
+type Runner struct {
+	net     *sim.Network
+	opts    RunnerOptions
+	views   []*knowledge.View
+	procs   []*Proc
+	periods int
+	running bool
+}
+
+// nodeProc multiplexes a node's inbound traffic between the knowledge
+// activity (heartbeats) and the broadcast activity (data), mirroring the
+// paper's modular two-activity design.
+type nodeProc struct {
+	proc *Proc
+	view *knowledge.View
+}
+
+// HandleMessage implements sim.Process.
+func (np *nodeProc) HandleMessage(from topology.NodeID, msg sim.Message) {
+	if msg.Kind == sim.KindHeartbeat {
+		hb, ok := msg.Payload.(hbPayload)
+		if !ok {
+			return
+		}
+		// Merge errors cannot occur on the shared-interner fast path;
+		// treat any as a dropped heartbeat (the probabilistic model
+		// already allows drops).
+		_ = np.view.MergeFrom(from, hb.seq, hb.src)
+		return
+	}
+	np.proc.HandleMessage(from, msg)
+}
+
+// NewRunner builds views and adaptive processes for every node of the
+// network and registers them. Call Start to begin the heartbeat activity,
+// then drive the network's engine.
+func NewRunner(net *sim.Network, opts RunnerOptions, sink func(topology.NodeID, Delivery)) (*Runner, error) {
+	opts = opts.withDefaults()
+	g := net.Graph()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("broadcast: empty network")
+	}
+	r := &Runner{net: net, opts: opts}
+	interner := knowledge.NewInterner()
+	// Intern the ground-truth links first so view indices align with the
+	// graph's link indices (convergence checks and stats rely on it).
+	for _, l := range g.Links() {
+		interner.Intern(l)
+	}
+	r.views = make([]*knowledge.View, n)
+	r.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		view, err := knowledge.NewView(id, n, g.Neighbors(id), interner, opts.Params)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: view %d: %w", i, err)
+		}
+		var deliver func(Delivery)
+		if sink != nil {
+			deliver = func(d Delivery) { sink(id, d) }
+		}
+		proc, err := NewAdaptive(net, id, opts.K, view, deliver)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: proc %d: %w", i, err)
+		}
+		proc.piggyback = opts.Piggyback
+		r.views[i] = view
+		r.procs[i] = proc
+		if err := net.Register(id, &nodeProc{proc: proc, view: view}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Views exposes the per-node knowledge views (read-only use).
+func (r *Runner) Views() []*knowledge.View { return r.views }
+
+// Proc returns the adaptive broadcast process of one node.
+func (r *Runner) Proc(id topology.NodeID) *Proc { return r.procs[id] }
+
+// Periods returns how many heartbeat periods have elapsed.
+func (r *Runner) Periods() int { return r.periods }
+
+// Start schedules the recurring heartbeat activity. It is idempotent.
+func (r *Runner) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.net.After(r.opts.Delta, r.tick)
+}
+
+// Stop halts the heartbeat activity after the current period.
+func (r *Runner) Stop() { r.running = false }
+
+// tick executes one heartbeat period δ for every node: Event 3 aging and
+// suspicion checks, then the epidemic heartbeat exchange (Algorithm 4
+// lines 14–17).
+func (r *Runner) tick() {
+	if !r.running {
+		return
+	}
+	r.periods++
+	g := r.net.Graph()
+	cfg := r.net.Config()
+	rng := r.net.Engine().Rand()
+	for i, v := range r.views {
+		id := topology.NodeID(i)
+		if !r.net.Up(id) {
+			continue // explicitly crashed: nothing runs
+		}
+		if r.opts.ModelCrashesAsSkips && rng.Float64() < cfg.Crash(id) {
+			// The process spent this period crashed: it missed its tick
+			// (Event 4) and sent no heartbeat, consuming no sequence
+			// number — which is exactly what lets receivers distinguish
+			// sender downtime from link loss.
+			v.OnRecover(1)
+			continue
+		}
+		v.BeginPeriod()
+		pl := hbPayload{seq: v.SelfSeq(), src: v}
+		for _, nb := range g.Neighbors(id) {
+			// Send errors cannot occur for topology neighbors.
+			_ = r.net.Send(id, nb, sim.Message{
+				Kind:    sim.KindHeartbeat,
+				Size:    HeartbeatSize,
+				Payload: pl,
+			})
+		}
+	}
+	r.net.After(r.opts.Delta, r.tick)
+}
+
+// AllConverged reports whether every view has learned the ground truth.
+func (r *Runner) AllConverged(crit knowledge.Criterion) bool {
+	truth := r.net.Config()
+	for _, v := range r.views {
+		if !v.ConvergedTo(truth, crit) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+// Package dedup provides the exactly-once delivery layer the paper
+// sketches in Section 2.2: the reliable broadcast primitive may deliver a
+// message more than once across crashes (the in-memory duplicate filter
+// is volatile), so "to ensure exactly-once message delivery in a
+// crash/recovery model, processes have to do some local logging to keep
+// track of messages already delivered". Log is that local logging: an
+// append-only file of delivered message IDs plus an in-memory set, so a
+// recovered process filters redeliveries of everything it acknowledged
+// before the crash.
+package dedup
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"adaptivecast/internal/topology"
+)
+
+// ID identifies one broadcast: originator plus originator-local sequence.
+type ID struct {
+	Origin topology.NodeID
+	Seq    uint64
+}
+
+// String renders the stable log format "origin:seq".
+func (id ID) String() string {
+	return strconv.FormatInt(int64(id.Origin), 10) + ":" + strconv.FormatUint(id.Seq, 10)
+}
+
+// parseID inverts String.
+func parseID(s string) (ID, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon <= 0 || colon == len(s)-1 {
+		return ID{}, fmt.Errorf("dedup: malformed entry %q", s)
+	}
+	origin, err := strconv.ParseInt(s[:colon], 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("dedup: malformed origin in %q: %w", s, err)
+	}
+	seq, err := strconv.ParseUint(s[colon+1:], 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("dedup: malformed seq in %q: %w", s, err)
+	}
+	return ID{Origin: topology.NodeID(origin), Seq: seq}, nil
+}
+
+// Log is a crash-surviving delivered-set. The zero value is unusable; use
+// Open (file-backed) or NewVolatile (tests, or callers that only want the
+// in-memory semantics).
+type Log struct {
+	mu     sync.Mutex
+	seen   map[ID]struct{}
+	file   *os.File      // nil for volatile logs
+	w      *bufio.Writer // nil for volatile logs
+	closed bool
+}
+
+// NewVolatile returns an in-memory log (no crash survival).
+func NewVolatile() *Log {
+	return &Log{seen: make(map[ID]struct{})}
+}
+
+// Open loads (creating if needed) a file-backed log. Malformed trailing
+// lines — a torn write from a crash mid-append — are tolerated and
+// dropped; a torn entry means the delivery was not acknowledged, so
+// redelivering it is correct at-least-once behavior.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: open: %w", err)
+	}
+	l := &Log{seen: make(map[ID]struct{}), file: f}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, err := parseID(line)
+		if err != nil {
+			continue // torn tail entry: treat as never-delivered
+		}
+		l.seen[id] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("dedup: scan: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil { // append from the end
+		_ = f.Close()
+		return nil, fmt.Errorf("dedup: seek: %w", err)
+	}
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// Seen reports whether the broadcast was already delivered.
+func (l *Log) Seen(id ID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.seen[id]
+	return ok
+}
+
+// Record marks the broadcast delivered, durably for file-backed logs. It
+// returns true if the ID was new (the caller should deliver) and false if
+// it was a duplicate (the caller must suppress it). This check-and-set is
+// atomic, so concurrent receive paths cannot double-deliver.
+func (l *Log) Record(id ID) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false, ErrClosed
+	}
+	if _, ok := l.seen[id]; ok {
+		return false, nil
+	}
+	l.seen[id] = struct{}{}
+	if l.file == nil {
+		return true, nil
+	}
+	if _, err := l.w.WriteString(id.String() + "\n"); err != nil {
+		return false, fmt.Errorf("dedup: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return false, fmt.Errorf("dedup: flush: %w", err)
+	}
+	if err := l.file.Sync(); err != nil {
+		return false, fmt.Errorf("dedup: sync: %w", err)
+	}
+	return true, nil
+}
+
+// MaxSeq returns the highest recorded sequence number originated by the
+// given process (0 if none). A restarting node resumes its broadcast
+// sequencing above this value so its post-recovery broadcasts cannot
+// collide with pre-crash ones.
+func (l *Log) MaxSeq(origin topology.NodeID) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var max uint64
+	for id := range l.seen {
+		if id.Origin == origin && id.Seq > max {
+			max = id.Seq
+		}
+	}
+	return max
+}
+
+// Len returns the number of recorded deliveries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.seen)
+}
+
+// Close releases the backing file. Record fails with ErrClosed
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.file == nil {
+		return nil
+	}
+	var firstErr error
+	if err := l.w.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := l.file.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.file = nil
+	l.w = nil
+	if firstErr != nil {
+		return fmt.Errorf("dedup: close: %w", firstErr)
+	}
+	return nil
+}
+
+// ErrClosed is returned by Record after Close.
+var ErrClosed = errors.New("dedup: log closed")

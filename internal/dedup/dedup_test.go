@@ -1,0 +1,174 @@
+package dedup
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adaptivecast/internal/topology"
+)
+
+func TestVolatileRecordAndSeen(t *testing.T) {
+	l := NewVolatile()
+	id := ID{Origin: 3, Seq: 7}
+	if l.Seen(id) {
+		t.Error("fresh log claims to have seen the ID")
+	}
+	fresh, err := l.Record(id)
+	if err != nil || !fresh {
+		t.Fatalf("first record: fresh=%v err=%v", fresh, err)
+	}
+	fresh, err = l.Record(id)
+	if err != nil || fresh {
+		t.Fatalf("second record: fresh=%v err=%v", fresh, err)
+	}
+	if !l.Seen(id) || l.Len() != 1 {
+		t.Errorf("state wrong: seen=%v len=%d", l.Seen(id), l.Len())
+	}
+}
+
+func TestFileLogSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dedup.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []ID{{0, 1}, {0, 2}, {5, 1}, {5, 9}}
+	for _, id := range ids {
+		if fresh, err := l.Record(id); err != nil || !fresh {
+			t.Fatalf("record %v: fresh=%v err=%v", id, fresh, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" and reopen: everything recorded must still be seen.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	for _, id := range ids {
+		if !l2.Seen(id) {
+			t.Errorf("ID %v lost across restart", id)
+		}
+	}
+	if l2.Len() != len(ids) {
+		t.Errorf("len = %d, want %d", l2.Len(), len(ids))
+	}
+	if fresh, err := l2.Record(ID{0, 1}); err != nil || fresh {
+		t.Errorf("replay accepted after restart: fresh=%v err=%v", fresh, err)
+	}
+	if fresh, err := l2.Record(ID{0, 3}); err != nil || !fresh {
+		t.Errorf("new ID rejected after restart: fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dedup.log")
+	// A good entry followed by a torn write.
+	if err := os.WriteFile(path, []byte("1:5\n2:garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	if !l.Seen(ID{1, 5}) {
+		t.Error("valid entry lost")
+	}
+	if l.Len() != 1 {
+		t.Errorf("len = %d, want 1 (torn entry dropped)", l.Len())
+	}
+	// The torn ID is redeliverable — correct at-least-once recovery.
+	if fresh, err := l.Record(ID{2, 1}); err != nil || !fresh {
+		t.Errorf("fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestMaxSeq(t *testing.T) {
+	l := NewVolatile()
+	for _, id := range []ID{{1, 3}, {1, 9}, {1, 5}, {2, 100}} {
+		if _, err := l.Record(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.MaxSeq(1); got != 9 {
+		t.Errorf("MaxSeq(1) = %d, want 9", got)
+	}
+	if got := l.MaxSeq(2); got != 100 {
+		t.Errorf("MaxSeq(2) = %d, want 100", got)
+	}
+	if got := l.MaxSeq(7); got != 0 {
+		t.Errorf("MaxSeq(7) = %d, want 0", got)
+	}
+}
+
+func TestRecordAfterClose(t *testing.T) {
+	l := NewVolatile()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Record(ID{1, 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRecordExactlyOnce(t *testing.T) {
+	l := NewVolatile()
+	const goroutines = 32
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		count int
+	)
+	id := ID{Origin: 1, Seq: 42}
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fresh, err := l.Record(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if fresh {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Errorf("%d goroutines won the record race, want exactly 1", count)
+	}
+}
+
+// Property: String/parseID round-trips for arbitrary IDs.
+func TestIDRoundTripProperty(t *testing.T) {
+	f := func(origin uint16, seq uint64) bool {
+		id := ID{Origin: topology.NodeID(origin), Seq: seq}
+		parsed, err := parseID(id.String())
+		return err == nil && parsed == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIDRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", ":", "1:", ":2", "a:b", "1:2:3x", "-:5"} {
+		if _, err := parseID(s); err == nil {
+			t.Errorf("parseID(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderChart draws the figure as a simple ASCII chart (one mark per
+// series, linear axes), so cmd/repro output can be eyeballed against the
+// paper's plots without extra tooling. Width and height are the plot-area
+// dimensions in characters; sensible minimums are enforced.
+func (f FigureResult) RenderChart(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Collect finite points and the bounding box.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	count := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			count++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	if count == 0 {
+		b.WriteString("(no finite data points)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s ┤%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s   %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "    %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/gossip"
+	"adaptivecast/internal/mrt"
+	"adaptivecast/internal/optimize"
+	"adaptivecast/internal/topology"
+)
+
+// Figure4Params configures the Figure 4 reproduction: the message-count
+// ratio between the reference gossip algorithm and the (converged)
+// adaptive algorithm, as network connectivity grows.
+type Figure4Params struct {
+	// N is the process count (paper: 100).
+	N int
+	// Connectivities are the x-axis values in links per process
+	// (paper: 2..20).
+	Connectivities []int
+	// Probs are the curve values: crash probabilities P when VaryLoss is
+	// false (Figure 4a, reliable links) or loss probabilities L when true
+	// (Figure 4b, reliable processes).
+	Probs []float64
+	// VaryLoss selects Figure 4(b) instead of 4(a).
+	VaryLoss bool
+	// K is the reliability target (paper: 0.9999).
+	K float64
+	// Graphs is how many random topologies to average per point.
+	Graphs int
+	// GossipRuns is the Monte-Carlo sample size per topology for the
+	// reference algorithm.
+	GossipRuns int
+	// Seed makes the whole figure reproducible.
+	Seed int64
+}
+
+// DefaultFigure4 returns the paper-scale parameters for Figure 4(a)
+// (varyLoss=false) or 4(b) (varyLoss=true).
+func DefaultFigure4(varyLoss bool) Figure4Params {
+	return Figure4Params{
+		N:              100,
+		Connectivities: []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		Probs:          []float64{0.01, 0.03, 0.05, 0.07},
+		VaryLoss:       varyLoss,
+		K:              0.9999,
+		Graphs:         3,
+		GossipRuns:     20,
+		Seed:           1,
+	}
+}
+
+func (p Figure4Params) withDefaults() Figure4Params {
+	if p.N == 0 {
+		p.N = 100
+	}
+	if len(p.Connectivities) == 0 {
+		p.Connectivities = []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	}
+	if len(p.Probs) == 0 {
+		p.Probs = []float64{0.01, 0.03, 0.05, 0.07}
+	}
+	if p.K == 0 {
+		p.K = 0.9999
+	}
+	if p.Graphs == 0 {
+		p.Graphs = 3
+	}
+	if p.GossipRuns == 0 {
+		p.GossipRuns = 20
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Figure4 reproduces Figure 4: for each (connectivity, probability) pair
+// it measures the reference algorithm's expected data-message count (by
+// Monte-Carlo simulation, run to quiescence) and the adaptive algorithm's
+// count (deterministic: Σ m[j] from optimize() over the MRT — after
+// convergence the adaptive algorithm equals the optimal one, which is what
+// the paper plots), and reports their ratio.
+func Figure4(p Figure4Params) (FigureResult, error) {
+	p = p.withDefaults()
+	label := "P"
+	title := "Reference / adaptive message ratio, reliable links (L=0)"
+	id := "fig4a"
+	if p.VaryLoss {
+		label = "L"
+		title = "Reference / adaptive message ratio, reliable processes (P=0)"
+		id = "fig4b"
+	}
+	res := FigureResult{
+		ID:     id,
+		Title:  title,
+		XLabel: "connectivity",
+		YLabel: "reference msgs / adaptive msgs (K=" + fmt.Sprint(p.K) + ")",
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, prob := range p.Probs {
+		s := Series{Label: fmt.Sprintf("%s=%.2f", label, prob)}
+		for _, conn := range p.Connectivities {
+			ratio, err := figure4Point(p, prob, conn, rng)
+			if err != nil {
+				return FigureResult{}, fmt.Errorf("%s %s=%v conn=%d: %w", id, label, prob, conn, err)
+			}
+			s.X = append(s.X, float64(conn))
+			s.Y = append(s.Y, ratio)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// figure4Point averages the reference/adaptive ratio over p.Graphs random
+// topologies.
+func figure4Point(p Figure4Params, prob float64, conn int, rng *rand.Rand) (float64, error) {
+	crash, loss := prob, 0.0
+	if p.VaryLoss {
+		crash, loss = 0.0, prob
+	}
+	var ratioSum float64
+	for gi := 0; gi < p.Graphs; gi++ {
+		g, err := connectedGraph(p.N, conn, rng)
+		if err != nil {
+			return 0, err
+		}
+		cfg, err := uniformConfig(g, crash, loss)
+		if err != nil {
+			return 0, err
+		}
+		root := topology.NodeID(rng.Intn(p.N))
+
+		adaptiveCost, err := AdaptiveCost(cfg, root, p.K)
+		if err != nil {
+			return 0, err
+		}
+		ref, err := gossip.MeanCost(cfg, root, rng, p.GossipRuns, gossip.Options{})
+		if err != nil {
+			return 0, err
+		}
+		ratioSum += ref.DataMessages / float64(adaptiveCost)
+	}
+	return ratioSum / float64(p.Graphs), nil
+}
+
+// AdaptiveCost returns the number of data messages the converged adaptive
+// (= optimal) algorithm plans for one broadcast from root at reliability
+// K: Σ m[j] from optimize() over the Maximum Reliability Tree.
+func AdaptiveCost(cfg *config.Config, root topology.NodeID, k float64) (int, error) {
+	tree, err := mrt.Build(cfg.Graph(), cfg, root)
+	if err != nil {
+		return 0, err
+	}
+	lams, err := tree.Lambdas(cfg)
+	if err != nil {
+		return 0, err
+	}
+	alloc, err := optimize.Greedy(lams, k, optimize.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return optimize.Total(alloc), nil
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adaptivecast/internal/broadcast"
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/sim"
+	"adaptivecast/internal/topology"
+)
+
+// ConvergenceParams configures a single convergence measurement: run the
+// heartbeat activity (Algorithm 4) over a topology until every process's
+// view has learned the ground truth, and report the effort in heartbeat
+// messages per link — the y-axis of Figures 5 and 6.
+type ConvergenceParams struct {
+	// Criterion decides when one estimate counts as converged.
+	Criterion knowledge.Criterion
+	// MaxPeriods aborts the measurement (reported as NaN) if convergence
+	// takes longer; guards against pathological configurations.
+	MaxPeriods int
+	// CheckEvery controls how often (in periods) convergence is tested.
+	CheckEvery int
+	// Seed drives the simulation.
+	Seed int64
+}
+
+func (p ConvergenceParams) withDefaults() ConvergenceParams {
+	if p.Criterion == (knowledge.Criterion{}) {
+		p.Criterion = knowledge.DefaultCriterion
+	}
+	if p.MaxPeriods == 0 {
+		p.MaxPeriods = 5000
+	}
+	if p.CheckEvery == 0 {
+		p.CheckEvery = 25
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// ConvergenceResult reports one convergence measurement.
+type ConvergenceResult struct {
+	// Converged is false when MaxPeriods was hit first.
+	Converged bool
+	// Periods is the heartbeat periods elapsed until convergence.
+	Periods int
+	// MessagesPerLink is total heartbeats sent divided by the link count
+	// (both directions flow over each link, matching the paper's "twice
+	// the number of heartbeat messages sent by a process through a link").
+	MessagesPerLink float64
+}
+
+// MeasureConvergence runs the full adaptive stack (knowledge views +
+// heartbeat activity on the simulator) over the given ground truth until
+// every view satisfies the criterion.
+//
+// Crash probabilities are modeled as per-period skips (the process misses
+// its whole heartbeat period, consuming no sequence number), with the
+// network's per-transmission crash sampling disabled so crashes are not
+// double-counted — see broadcast.RunnerOptions.ModelCrashesAsSkips.
+func MeasureConvergence(truth *config.Config, p ConvergenceParams) (ConvergenceResult, error) {
+	p = p.withDefaults()
+	eng := sim.NewEngine(p.Seed)
+	net := sim.NewNetwork(eng, truth, sim.Options{DisableCrashSampling: true})
+	runner, err := broadcast.NewRunner(net, broadcast.RunnerOptions{
+		Delta:               1,
+		ModelCrashesAsSkips: true,
+	}, nil)
+	if err != nil {
+		return ConvergenceResult{}, err
+	}
+	runner.Start()
+	links := float64(truth.Graph().NumLinks())
+	for period := p.CheckEvery; period <= p.MaxPeriods; period += p.CheckEvery {
+		eng.RunUntil(sim.Time(period) + 0.5)
+		if runner.AllConverged(p.Criterion) {
+			runner.Stop()
+			return ConvergenceResult{
+				Converged:       true,
+				Periods:         runner.Periods(),
+				MessagesPerLink: float64(net.Stats().Sent(sim.KindHeartbeat)) / links,
+			}, nil
+		}
+	}
+	runner.Stop()
+	return ConvergenceResult{
+		Converged:       false,
+		Periods:         runner.Periods(),
+		MessagesPerLink: float64(net.Stats().Sent(sim.KindHeartbeat)) / links,
+	}, nil
+}
+
+// Figure5Params configures the Figure 5 reproduction: convergence effort
+// versus network connectivity.
+type Figure5Params struct {
+	// N is the process count (paper: 100).
+	N int
+	// Connectivities are the x-axis values (paper: 2..20).
+	Connectivities []int
+	// Probs are the curve values: P when VaryLoss is false (Figure 5a,
+	// reliable links), L when true (Figure 5b, reliable processes).
+	Probs []float64
+	// VaryLoss selects Figure 5(b).
+	VaryLoss bool
+	// Graphs averages each point over several random topologies.
+	Graphs int
+	// Convergence tunes the per-run measurement.
+	Convergence ConvergenceParams
+	// Seed drives topology generation (per-run seeds derive from it).
+	Seed int64
+}
+
+// DefaultFigure5 returns paper-scale parameters for Figure 5(a)
+// (varyLoss=false) or 5(b) (varyLoss=true).
+func DefaultFigure5(varyLoss bool) Figure5Params {
+	return Figure5Params{
+		N:              100,
+		Connectivities: []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		Probs:          []float64{0, 0.01, 0.03, 0.05},
+		VaryLoss:       varyLoss,
+		Graphs:         2,
+		Seed:           1,
+	}
+}
+
+func (p Figure5Params) withDefaults() Figure5Params {
+	if p.N == 0 {
+		p.N = 100
+	}
+	if len(p.Connectivities) == 0 {
+		p.Connectivities = []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	}
+	if len(p.Probs) == 0 {
+		p.Probs = []float64{0, 0.01, 0.03, 0.05}
+	}
+	if p.Graphs == 0 {
+		p.Graphs = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Figure5 reproduces Figure 5: heartbeat messages per link until every
+// process has learned the reliability probabilities, as connectivity
+// grows, for several failure probabilities.
+func Figure5(p Figure5Params) (FigureResult, error) {
+	p = p.withDefaults()
+	label, id, title := "P", "fig5a", "Convergence effort, reliable links (L=0)"
+	if p.VaryLoss {
+		label, id, title = "L", "fig5b", "Convergence effort, reliable processes (P=0)"
+	}
+	res := FigureResult{
+		ID:     id,
+		Title:  title,
+		XLabel: "connectivity",
+		YLabel: "heartbeat messages / link until convergence",
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, prob := range p.Probs {
+		s := Series{Label: fmt.Sprintf("%s=%.2f", label, prob)}
+		for _, conn := range p.Connectivities {
+			var sum float64
+			valid := 0
+			for gi := 0; gi < p.Graphs; gi++ {
+				g, err := connectedGraph(p.N, conn, rng)
+				if err != nil {
+					return FigureResult{}, err
+				}
+				crash, loss := prob, 0.0
+				if p.VaryLoss {
+					crash, loss = 0.0, prob
+				}
+				truth, err := uniformConfig(g, crash, loss)
+				if err != nil {
+					return FigureResult{}, err
+				}
+				cp := p.Convergence
+				cp.Seed = rng.Int63()
+				if cp.Seed == 0 {
+					cp.Seed = 1
+				}
+				r, err := MeasureConvergence(truth, cp)
+				if err != nil {
+					return FigureResult{}, err
+				}
+				if r.Converged {
+					sum += r.MessagesPerLink
+					valid++
+				}
+			}
+			s.X = append(s.X, float64(conn))
+			if valid == 0 {
+				s.Y = append(s.Y, math.NaN())
+			} else {
+				s.Y = append(s.Y, sum/float64(valid))
+			}
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Figure6Params configures the scalability experiment.
+type Figure6Params struct {
+	// Sizes are the x-axis process counts (paper: 100..240).
+	Sizes []int
+	// Graphs averages each tree point over several random trees (rings
+	// are deterministic).
+	Graphs int
+	// Convergence tunes the per-run measurement.
+	Convergence ConvergenceParams
+	// Seed drives tree generation.
+	Seed int64
+}
+
+// DefaultFigure6 matches the paper's Figure 6 sizes.
+func DefaultFigure6() Figure6Params {
+	return Figure6Params{
+		Sizes:  []int{100, 120, 140, 160, 180, 200, 220, 240},
+		Graphs: 3,
+		Seed:   1,
+	}
+}
+
+func (p Figure6Params) withDefaults() Figure6Params {
+	if len(p.Sizes) == 0 {
+		p.Sizes = []int{100, 120, 140, 160, 180, 200, 220, 240}
+	}
+	if p.Graphs == 0 {
+		p.Graphs = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Figure6 reproduces Figure 6: convergence effort versus system size for
+// the ring (worst case: information travels half the ring, so the effort
+// grows linearly) and random trees (logarithmic diameter, near-constant
+// effort). Like the paper's scalability run, the failure probabilities
+// are held at zero so the measurement isolates the propagation cost.
+func Figure6(p Figure6Params) (FigureResult, error) {
+	p = p.withDefaults()
+	res := FigureResult{
+		ID:     "fig6",
+		Title:  "Algorithm scalability (convergence effort vs system size)",
+		XLabel: "processes",
+		YLabel: "heartbeat messages / link until convergence",
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	ring := Series{Label: "ring"}
+	tree := Series{Label: "tree"}
+	for _, n := range p.Sizes {
+		// Ring: deterministic topology, one measurement.
+		rg, err := topology.Ring(n)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		truth, err := uniformConfig(rg, 0, 0)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		cp := p.Convergence
+		cp.Seed = rng.Int63()
+		rr, err := MeasureConvergence(truth, cp)
+		if err != nil {
+			return FigureResult{}, err
+		}
+		ring.X = append(ring.X, float64(n))
+		if rr.Converged {
+			ring.Y = append(ring.Y, rr.MessagesPerLink)
+		} else {
+			ring.Y = append(ring.Y, math.NaN())
+		}
+
+		// Random trees: average over p.Graphs draws.
+		var sum float64
+		valid := 0
+		for gi := 0; gi < p.Graphs; gi++ {
+			tg, err := topology.RandomTree(n, rng)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			truth, err := uniformConfig(tg, 0, 0)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			cp := p.Convergence
+			cp.Seed = rng.Int63()
+			tr, err := MeasureConvergence(truth, cp)
+			if err != nil {
+				return FigureResult{}, err
+			}
+			if tr.Converged {
+				sum += tr.MessagesPerLink
+				valid++
+			}
+		}
+		tree.X = append(tree.X, float64(n))
+		if valid == 0 {
+			tree.Y = append(tree.Y, math.NaN())
+		} else {
+			tree.Y = append(tree.Y, sum/float64(valid))
+		}
+	}
+	res.Series = append(res.Series, ring, tree)
+	return res, nil
+}

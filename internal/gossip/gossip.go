@@ -1,0 +1,208 @@
+// Package gossip implements the paper's reference algorithm (Section 5):
+// a typical gossip-based reliable broadcast. The execution proceeds in
+// synchronous steps; in each step every process holding the message
+// forwards it to its neighbors, with one optimization — processes
+// acknowledge receipt, and p never forwards m to q if p previously
+// received m from q or received q's acknowledgment for m.
+//
+// The paper ran the reference algorithm for an interactively determined
+// number of steps guaranteeing delivery probability 0.9999. This
+// implementation instead runs each trial to quiescence: a process stops
+// sending to a neighbor exactly when it learns the neighbor has the
+// message, so the step at which no data message is sent is the step after
+// which none would ever be sent — by then every process has been reached.
+// The message count at quiescence therefore upper-bounds (and closely
+// tracks) the fixed-step count for any reliability target, and Figure 4's
+// ratios are reproduced without hand-tuning a step count per
+// configuration. Monte-Carlo averaging over trials gives the expected
+// cost.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/topology"
+)
+
+// ErrNoQuiescence is returned when a run exceeds Options.MaxRounds; with
+// loss probabilities < 1 this indicates a configuration error (for
+// example a partitioned topology).
+var ErrNoQuiescence = errors.New("gossip: run did not quiesce")
+
+// Options tunes a gossip run.
+type Options struct {
+	// MaxRounds bounds a single run (default 100000).
+	MaxRounds int
+	// DisableAcks turns off the acknowledgment optimization; senders then
+	// only suppress forwarding to processes they received m from. Used by
+	// the ablation experiments. Without acks a sender can never learn
+	// that a neighbor it infected already has the message, so the run
+	// cannot quiesce on its own: FixedRounds must be set.
+	DisableAcks bool
+	// FixedRounds, when positive, runs exactly this many steps (or until
+	// natural quiescence, whichever comes first) instead of running to
+	// quiescence. This mirrors the paper's fixed, interactively chosen
+	// step count and is required when DisableAcks is set.
+	FixedRounds int
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 100000
+	}
+	return o.MaxRounds
+}
+
+// Result reports one gossip run.
+type Result struct {
+	// DataMessages is the number of data transmissions (the quantity
+	// Figure 4 compares against the adaptive algorithm).
+	DataMessages int
+	// AckMessages is the number of acknowledgment transmissions.
+	AckMessages int
+	// Rounds is the number of steps until quiescence.
+	Rounds int
+	// Reached is how many processes delivered the message (always n at
+	// quiescence when loss probabilities are < 1).
+	Reached int
+}
+
+// Run executes one reference-gossip broadcast from root over the
+// configuration's topology, sampling crashes and losses per transmission
+// from rng, and returns the message accounting at quiescence.
+func Run(cfg *config.Config, root topology.NodeID, rng *rand.Rand, opts Options) (Result, error) {
+	g := cfg.Graph()
+	n := g.NumNodes()
+	if root < 0 || int(root) >= n {
+		return Result{}, fmt.Errorf("gossip: root %d out of range [0,%d)", root, n)
+	}
+	if opts.DisableAcks && opts.FixedRounds <= 0 {
+		return Result{}, errors.New("gossip: DisableAcks requires FixedRounds (no quiescence without acks)")
+	}
+
+	has := make([]bool, n)
+	has[root] = true
+	// knows[u][i] = u knows that its i-th neighbor already has m
+	// (either m came from that neighbor or its ack arrived).
+	knows := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		knows[u] = make([]bool, g.Degree(topology.NodeID(u)))
+	}
+	// neighborPos[u] maps neighbor ID -> adjacency position, for ack and
+	// receive bookkeeping.
+	neighborPos := make([]map[topology.NodeID]int, n)
+	for u := 0; u < n; u++ {
+		nbs := g.Neighbors(topology.NodeID(u))
+		neighborPos[u] = make(map[topology.NodeID]int, len(nbs))
+		for i, nb := range nbs {
+			neighborPos[u][nb] = i
+		}
+	}
+
+	res := Result{Reached: 1}
+	// transmit samples one transmission from u to v over their link;
+	// true means v receives and processes it.
+	transmit := func(u, v topology.NodeID, linkIdx int) bool {
+		if rng.Float64() < cfg.Crash(u) {
+			return false // sender executed a crashed step
+		}
+		if rng.Float64() < cfg.Loss(linkIdx) {
+			return false // link lost the message
+		}
+		return rng.Float64() >= cfg.Crash(v) // receiver step
+	}
+
+	for round := 1; round <= opts.maxRounds(); round++ {
+		type receipt struct{ to, from topology.NodeID }
+		var receipts []receipt
+		sent := 0
+		for u := 0; u < n; u++ {
+			if !has[u] {
+				continue
+			}
+			uid := topology.NodeID(u)
+			nbs := g.Neighbors(uid)
+			linkIdxs := g.NeighborLinks(uid)
+			for i, v := range nbs {
+				if knows[u][i] {
+					continue
+				}
+				sent++
+				res.DataMessages++
+				if transmit(uid, v, linkIdxs[i]) {
+					receipts = append(receipts, receipt{to: v, from: uid})
+				}
+			}
+		}
+		if sent == 0 {
+			res.Rounds = round - 1
+			return res, nil
+		}
+		if opts.FixedRounds > 0 && round >= opts.FixedRounds {
+			res.Rounds = round
+			// Deliver this step's receipts before returning.
+			for _, r := range receipts {
+				if !has[r.to] {
+					has[r.to] = true
+					res.Reached++
+				}
+			}
+			return res, nil
+		}
+		// Process receipts after all sends: new holders forward from the
+		// next step on, matching the paper's synchronous step model.
+		for _, r := range receipts {
+			if !has[r.to] {
+				has[r.to] = true
+				res.Reached++
+			}
+			// Receiving m from someone proves they have it.
+			knows[r.to][neighborPos[r.to][r.from]] = true
+			if !opts.DisableAcks {
+				res.AckMessages++
+				linkIdx := g.NeighborLinks(r.to)[neighborPos[r.to][r.from]]
+				if transmit(r.to, r.from, linkIdx) {
+					knows[r.from][neighborPos[r.from][r.to]] = true
+				}
+			}
+		}
+	}
+	return res, ErrNoQuiescence
+}
+
+// MeanResult is the Monte-Carlo average over several runs.
+type MeanResult struct {
+	DataMessages float64
+	AckMessages  float64
+	Rounds       float64
+	ReachedAll   float64 // fraction of runs that reached every process
+}
+
+// MeanCost averages `runs` independent gossip broadcasts from root.
+func MeanCost(cfg *config.Config, root topology.NodeID, rng *rand.Rand, runs int, opts Options) (MeanResult, error) {
+	if runs <= 0 {
+		return MeanResult{}, fmt.Errorf("gossip: runs must be positive, got %d", runs)
+	}
+	var out MeanResult
+	n := cfg.Graph().NumNodes()
+	for i := 0; i < runs; i++ {
+		r, err := Run(cfg, root, rng, opts)
+		if err != nil {
+			return MeanResult{}, err
+		}
+		out.DataMessages += float64(r.DataMessages)
+		out.AckMessages += float64(r.AckMessages)
+		out.Rounds += float64(r.Rounds)
+		if r.Reached == n {
+			out.ReachedAll++
+		}
+	}
+	out.DataMessages /= float64(runs)
+	out.AckMessages /= float64(runs)
+	out.Rounds /= float64(runs)
+	out.ReachedAll /= float64(runs)
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/topology"
+)
+
+// MeanFieldResult is the analytic (mean-field) prediction for the
+// reference algorithm run for a fixed number of steps — the paper's
+// actual evaluation mode, where the step count was "determined
+// interactively" so that every process is reached with probability K.
+type MeanFieldResult struct {
+	// Steps is the smallest step count after which every process's
+	// predicted reach probability meets K.
+	Steps int
+	// ReachMin is min_v q_v after Steps steps (≥ K on success).
+	ReachMin float64
+	// ExpectedData is the predicted number of data messages sent over
+	// Steps steps. The factorization loses sender/acker correlations, so
+	// this over-estimates somewhat (ghost retransmissions linger);
+	// treat it as an upper-side estimate — the validation test pins the
+	// tolerance.
+	ExpectedData float64
+}
+
+// MeanField predicts the reference algorithm's behavior with a standard
+// mean-field (independence) approximation: it tracks, per process, the
+// probability q_v(t) of holding the message after step t and, per
+// directed neighbor pair, the probability that u already knows v has it
+// (via receiving m from v or v's acknowledgment), and accumulates the
+// expected sends.
+//
+// The stopping criterion is per-process reach: min_v q_v(t) ≥ K, the
+// standard reading of "all processes have been reached with probability
+// K" in gossip analyses (a joint-reach product under the independence
+// approximation would compound per-node factorization error n times).
+// MeanField is a fast analytic companion for picking the paper-style
+// fixed step count; the exact numbers come from Run/MeanCost, and tests
+// validate the two against each other.
+func MeanField(cfg *config.Config, root topology.NodeID, k float64, maxSteps int) (MeanFieldResult, error) {
+	g := cfg.Graph()
+	n := g.NumNodes()
+	if root < 0 || int(root) >= n {
+		return MeanFieldResult{}, fmt.Errorf("gossip: root %d out of range [0,%d)", root, n)
+	}
+	if k <= 0 || k >= 1 {
+		return MeanFieldResult{}, fmt.Errorf("gossip: K=%v outside (0,1)", k)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+
+	// lambda[u][i] = probability one transmission u→(i-th neighbor) fails.
+	lambda := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		uid := topology.NodeID(u)
+		nbs := g.Neighbors(uid)
+		linkIdxs := g.NeighborLinks(uid)
+		lambda[u] = make([]float64, len(nbs))
+		for i, v := range nbs {
+			rel := (1 - cfg.Crash(uid)) * (1 - cfg.Loss(linkIdxs[i])) * (1 - cfg.Crash(v))
+			lambda[u][i] = 1 - rel
+		}
+	}
+
+	q := make([]float64, n) // q[v] = P(v holds m)
+	q[root] = 1
+	// know[u][i] = P(u knows its i-th neighbor has m).
+	know := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		know[u] = make([]float64, g.Degree(topology.NodeID(u)))
+	}
+	// pos[u] maps neighbor → adjacency index for the reverse direction.
+	pos := make([]map[topology.NodeID]int, n)
+	for u := 0; u < n; u++ {
+		nbs := g.Neighbors(topology.NodeID(u))
+		pos[u] = make(map[topology.NodeID]int, len(nbs))
+		for i, nb := range nbs {
+			pos[u][nb] = i
+		}
+	}
+
+	var expData float64
+	for step := 1; step <= maxSteps; step++ {
+		// Snapshot the state the step starts from: all of this step's
+		// sends and learning events are driven by it.
+		qPrev := append([]float64(nil), q...)
+		knowPrev := make([][]float64, n)
+		for u := 0; u < n; u++ {
+			knowPrev[u] = append([]float64(nil), know[u]...)
+		}
+
+		// Expected sends and the per-destination miss factors.
+		notReached := make([]float64, n)
+		for v := 0; v < n; v++ {
+			notReached[v] = 1
+		}
+		for u := 0; u < n; u++ {
+			nbs := g.Neighbors(topology.NodeID(u))
+			for i, v := range nbs {
+				pSend := qPrev[u] * (1 - knowPrev[u][i])
+				if pSend <= 0 {
+					continue
+				}
+				expData += pSend
+				notReached[v] *= 1 - pSend*(1-lambda[u][i])
+			}
+		}
+		for v := 0; v < n; v++ {
+			q[v] = 1 - (1-qPrev[v])*notReached[v]
+		}
+
+		// Knowledge updates, per directed pair u→v. Given that u does not
+		// yet know (that conditioning is exactly the (1-know) complement
+		// in the update below, so it must NOT be multiplied in again),
+		// u learns this step if
+		//  (a) u held m and sent, the copy arrived, and v's ack returned:
+		//      qPrev[u]·(1-λ)², or
+		//  (b) v held m, did not know about u, sent, and the copy
+		//      arrived: qPrev[v]·(1-knowPrev[v][u])·(1-λ).
+		for u := 0; u < n; u++ {
+			nbs := g.Neighbors(topology.NodeID(u))
+			for i, v := range nbs {
+				rel := 1 - lambda[u][i]
+				ackLearn := qPrev[u] * rel * rel
+				j := pos[v][topology.NodeID(u)]
+				recvLearn := qPrev[v] * (1 - knowPrev[v][j]) * rel
+				stay := (1 - ackLearn) * (1 - recvLearn)
+				kn := 1 - (1-knowPrev[u][i])*stay
+				// Coupling constraint the factorization loses: learning
+				// that v has m is a sub-event of v actually holding it,
+				// so know_uv can never exceed q_v.
+				if kn > q[v] {
+					kn = q[v]
+				}
+				know[u][i] = kn
+			}
+		}
+
+		reachMin := 1.0
+		for v := 0; v < n; v++ {
+			if q[v] < reachMin {
+				reachMin = q[v]
+			}
+		}
+		if reachMin >= k {
+			return MeanFieldResult{Steps: step, ReachMin: reachMin, ExpectedData: expData}, nil
+		}
+	}
+	return MeanFieldResult{}, errors.New("gossip: mean-field did not reach K within maxSteps")
+}

@@ -1,0 +1,629 @@
+// Package knowledge implements the paper's adaptive approximation activity
+// (Section 4, Algorithms 3 and 4): each process p_k maintains a view
+// (Λ_k, C_k) of the topology and failure configuration, built from
+// periodic sequenced heartbeats exchanged with direct neighbors.
+//
+// Every estimate carries a distortion factor: 0 for what p_k measures
+// itself (its own crash probability, its incident links), and otherwise
+// the estimate's network distance from its origin, aged further when no
+// news arrives. When two views meet, the less distorted estimate wins
+// (selectBestEstimate, Algorithm 3), and adopted estimates get their
+// distortion incremented because they are now second-hand.
+//
+// Events (Algorithm 4):
+//
+//  1. Heartbeat reception — detect lost heartbeats from sequence-number
+//     gaps, reconcile them against the suspicions raised meanwhile, update
+//     the link's Bayesian estimate, merge the sender's estimates and
+//     topology knowledge.
+//  2. Timeout without news — age the estimate's distortion; for direct
+//     neighbors, raise a suspicion and decrease the process and link
+//     reliability beliefs.
+//  3. Surviving a tick — increase the self-reliability belief.
+//  4. Recovering from a crash of n ticks — decrease it n times.
+//
+// Two deliberate deviations from the paper's pseudo-code, documented here
+// and in DESIGN.md:
+//
+// First, Algorithm 4 line 19 computes the suspicion adjustment but never
+// credits a successfully received heartbeat as positive evidence for the
+// link. Read literally, link beliefs could only ever decrease (or be
+// compensated), so the estimator could not converge to the true loss rate
+// from its uniform prior. Following the paper's own prose — "this event
+// allows p_k to know how many messages were lost by link l_{k,j}" — this
+// implementation counts, on each reception, `gap-1` losses (the exact
+// ground truth revealed by the sequence numbers) and one success for the
+// heartbeat that made it through. In the long run the success:failure
+// evidence ratio is (1-L):L and the Bayesian network concentrates on the
+// interval containing L, which is the convergence behavior Figures 5 and 6
+// report.
+//
+// Second, Algorithm 4 lines 38–39 decrease the link belief on every
+// suspicion and line 22 "compensates" if the suspicion proves unfounded.
+// Bayes updates are multiplicative, so a decrease followed by an increase
+// is not an identity: each unfounded suspicion would inject an m(1-m)
+// likelihood factor that drags the posterior toward 0.5 and, worse, a
+// neighbor that is merely crashed (its heartbeats were never sent, so no
+// sequence numbers were consumed) would permanently contaminate the *link*
+// estimate. This implementation therefore books link evidence only from
+// sequence gaps — which distinguish loss (gap: the sender did send) from
+// sender downtime (no gap: the sender never incremented) — while Event 2
+// suspicions decay only the process belief and feed the timeout
+// adaptation. The process belief is self-corrected on reconnection because
+// the neighbor's own zero-distortion self-estimate is always re-adopted.
+package knowledge
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/topology"
+)
+
+// DistInf is the distortion of an estimate nothing is known about yet
+// (the paper's d = ∞ initialization).
+const DistInf = math.MaxInt32
+
+// Params tunes a view. The zero value gets sensible defaults from
+// applyDefaults.
+type Params struct {
+	// Intervals is U, the Bayesian precision (default bayes.DefaultIntervals).
+	Intervals int
+	// InitialTimeout is ∆_k[p_j] in heartbeat periods (default 1, i.e. δ).
+	InitialTimeout int
+	// MaxTimeout caps the adaptive growth of per-neighbor timeouts
+	// (default 16 periods).
+	MaxTimeout int
+	// AutoRefine enables the paper's future-work extension ("dynamically
+	// increasing the number of probabilistic intervals when better
+	// precision is required"): once a locally measured estimate (the
+	// process's own reliability or an incident link) concentrates at
+	// least RefineMass posterior mass in one interval, its estimator is
+	// re-gridded around that interval (bayes.Refine). Refined estimates
+	// propagate to other processes through the normal adoption path.
+	AutoRefine bool
+	// RefineMass is the concentration threshold (default 0.5).
+	RefineMass float64
+	// RefineMinObs is the minimum evidence count before an estimator may
+	// refine (default 400): re-gridding around a transient early MAP
+	// would lock the window away from the truth.
+	RefineMinObs int
+	// refineEvery is how often (periods) refinement candidacy is checked.
+	refineEvery int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Intervals == 0 {
+		p.Intervals = bayes.DefaultIntervals
+	}
+	if p.InitialTimeout == 0 {
+		// Two periods: a heartbeat received in period t keeps its sender
+		// unsuspected through period t+1, so the regular cadence alone
+		// never raises suspicions.
+		p.InitialTimeout = 2
+	}
+	if p.MaxTimeout == 0 {
+		p.MaxTimeout = 16
+	}
+	if p.RefineMass == 0 {
+		// Half the posterior mass in one interval is already strong
+		// localization; refining then leaves plenty of future evidence to
+		// resolve the sub-interval detail.
+		p.RefineMass = 0.5
+	}
+	if p.RefineMinObs == 0 {
+		p.RefineMinObs = 400
+	}
+	if p.refineEvery == 0 {
+		p.refineEvery = 16
+	}
+	return p
+}
+
+// Interner assigns process-local dense indices to links as they become
+// known, so views can keep link estimates in slices. Views in one
+// simulation may share an interner (indices then agree across views, which
+// the merge fast path exploits); live nodes each own one.
+type Interner struct {
+	idx   map[topology.Link]int
+	links []topology.Link
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{idx: make(map[topology.Link]int)}
+}
+
+// Intern returns the dense index for l, assigning the next free index on
+// first sight.
+func (t *Interner) Intern(l topology.Link) int {
+	if i, ok := t.idx[l]; ok {
+		return i
+	}
+	i := len(t.links)
+	t.idx[l] = i
+	t.links = append(t.links, l)
+	return i
+}
+
+// Lookup returns the index of l, or -1 if never interned.
+func (t *Interner) Lookup(l topology.Link) int {
+	if i, ok := t.idx[l]; ok {
+		return i
+	}
+	return -1
+}
+
+// Link returns the link with dense index i.
+func (t *Interner) Link(i int) topology.Link { return t.links[i] }
+
+// Len returns the number of interned links.
+func (t *Interner) Len() int { return len(t.links) }
+
+// procState is C_k[p_i]: the estimate one process keeps about another
+// process (or itself).
+//
+// Estimator objects are shared between views on adoption (Algorithm 3's
+// "adopt the best") instead of copied: sharing a pointer is exactly the
+// semantics of receiving a serialized snapshot, because every mutation
+// goes through mutable(), which clones first when the object might be
+// referenced elsewhere (copy-on-write). A shared estimator is therefore a
+// frozen snapshot of the source at adoption time — the source's future
+// local updates do not teleport to adopters, preserving the propagation
+// delays that the paper's scalability experiment (Figure 6) measures.
+type procState struct {
+	est         *bayes.Estimator
+	shared      bool // est may be referenced by another view: clone before mutating
+	refined     bool // AutoRefine already re-gridded this estimator
+	dist        int
+	lastSeq     uint64 // C_k[p_j].seq: last heartbeat sequence received (neighbors)
+	suspected   int    // C_k[p_j].suspected: Event 2 firings since last heartbeat
+	timeout     int    // ∆_k[p_j] in periods
+	sinceUpdate int    // periods since this estimate was last refreshed
+}
+
+// mutable returns the estimator, cloning it first if it might be shared
+// with another view.
+func (ps *procState) mutable() *bayes.Estimator {
+	if ps.shared {
+		ps.est = ps.est.Clone()
+		ps.shared = false
+	}
+	return ps.est
+}
+
+// linkState is C_k[l_i]: the estimate kept about one link. Link distortion
+// captures only network distance (the paper ages only process estimates
+// with time). Sharing semantics match procState.
+type linkState struct {
+	est     *bayes.Estimator
+	shared  bool
+	refined bool // AutoRefine already re-gridded this estimator
+	dist    int
+}
+
+// mutable returns the estimator, cloning it first if it might be shared.
+func (ls *linkState) mutable() *bayes.Estimator {
+	if ls.shared {
+		ls.est = ls.est.Clone()
+		ls.shared = false
+	}
+	return ls.est
+}
+
+// View is (Λ_k, C_k): everything process self believes about the system.
+// It is a pure state machine — time is injected by calling BeginPeriod
+// once per heartbeat period δ, and message arrival by MergeFrom /
+// MergeSnapshot. It is not safe for concurrent use; the live node wraps
+// it in a mutex.
+type View struct {
+	self     topology.NodeID
+	n        int
+	params   Params
+	interner *Interner
+	procs    []procState
+	links    []*linkState // indexed by interner index; nil = unknown link
+	neighbor []bool       // direct neighbors of self
+	selfSeq  uint64       // heartbeat sequencer C_k[p_k].seq
+}
+
+// NewView builds the initial view of process self in a system of n
+// processes (Π is known a priori, per the paper's simplifying assumption)
+// whose direct neighbors are given. A shared interner may be passed;
+// nil creates a private one.
+func NewView(self topology.NodeID, n int, neighbors []topology.NodeID, interner *Interner, params Params) (*View, error) {
+	if self < 0 || int(self) >= n {
+		return nil, fmt.Errorf("knowledge: self %d out of range [0,%d)", self, n)
+	}
+	params = params.withDefaults()
+	if interner == nil {
+		interner = NewInterner()
+	}
+	v := &View{
+		self:     self,
+		n:        n,
+		params:   params,
+		interner: interner,
+		procs:    make([]procState, n),
+		neighbor: make([]bool, n),
+	}
+	for i := range v.procs {
+		v.procs[i] = procState{
+			est:     bayes.MustNew(params.Intervals),
+			dist:    DistInf,
+			timeout: params.InitialTimeout,
+		}
+	}
+	v.procs[self].dist = 0 // p_k sees itself with no distortion
+	for _, nb := range neighbors {
+		if nb == self || nb < 0 || int(nb) >= n {
+			return nil, fmt.Errorf("knowledge: invalid neighbor %d", nb)
+		}
+		v.neighbor[nb] = true
+		idx := v.interner.Intern(topology.NewLink(self, nb))
+		v.ensureLinks(idx)
+		v.links[idx] = &linkState{est: bayes.MustNew(params.Intervals), dist: 0}
+	}
+	return v, nil
+}
+
+// ensureLinks grows the link slice to cover index idx.
+func (v *View) ensureLinks(idx int) {
+	for len(v.links) <= idx {
+		v.links = append(v.links, nil)
+	}
+}
+
+// Self returns the owning process ID.
+func (v *View) Self() topology.NodeID { return v.self }
+
+// NumProcs returns |Π|.
+func (v *View) NumProcs() int { return v.n }
+
+// SelfSeq returns the current heartbeat sequence number.
+func (v *View) SelfSeq() uint64 { return v.selfSeq }
+
+// Interner exposes the link index table (shared in simulations).
+func (v *View) Interner() *Interner { return v.interner }
+
+// IsNeighbor reports whether j is a direct neighbor of self.
+func (v *View) IsNeighbor(j topology.NodeID) bool { return v.neighbor[j] }
+
+// KnownLinks returns the links the view currently knows about.
+func (v *View) KnownLinks() []topology.Link {
+	var out []topology.Link
+	for i, ls := range v.links {
+		if ls != nil {
+			out = append(out, v.interner.Link(i))
+		}
+	}
+	return out
+}
+
+// BeginPeriod advances one heartbeat period δ. It runs Event 3 (the
+// process survived another tick, so its self-reliability belief improves)
+// and Event 2 for every estimate that went stale (distortion aging, and
+// suspicion plus belief decreases for silent neighbors). It also
+// increments the heartbeat sequencer; the caller should then obtain the
+// current view (directly or via Snapshot) and send it to all neighbors.
+func (v *View) BeginPeriod() {
+	v.selfSeq++
+	v.procs[v.self].mutable().ObserveSuccess(1) // Event 3: ∆tick = δ
+	if v.params.AutoRefine && v.selfSeq%uint64(v.params.refineEvery) == 0 {
+		v.maybeRefine()
+	}
+
+	for j := range v.procs {
+		if topology.NodeID(j) == v.self {
+			continue
+		}
+		ps := &v.procs[j]
+		ps.sinceUpdate++
+		if ps.sinceUpdate < ps.timeout {
+			continue
+		}
+		// Event 2: no update of p_j's estimate for ∆_k[p_j].
+		ps.sinceUpdate = 0
+		if ps.dist != DistInf {
+			ps.dist++ // knowledge gets distorted with time
+		}
+		if v.neighbor[j] {
+			ps.suspected++
+			ps.mutable().ObserveFailure(1)
+			// Link evidence is intentionally NOT decreased here; see the
+			// package comment — losses are booked exactly from sequence
+			// gaps on the next reception, keeping the link posterior
+			// unbiased and uncontaminated by sender downtime.
+		}
+	}
+}
+
+// maybeRefine applies the dynamic-precision extension to the estimates
+// this process measures itself (its own reliability and incident links):
+// once posterior mass has concentrated, the estimator is re-gridded
+// around the winning interval. Remote processes receive the refined
+// estimators through the usual adoption path, so refinement spreads like
+// any other knowledge.
+func (v *View) maybeRefine() {
+	self := &v.procs[v.self]
+	self.est, self.refined, self.shared = v.refineStep(self.est, self.refined, self.shared)
+	for _, ls := range v.links {
+		if ls == nil || ls.dist != 0 {
+			continue
+		}
+		ls.est, ls.refined, ls.shared = v.refineStep(ls.est, ls.refined, ls.shared)
+	}
+}
+
+// refineStep advances one estimator through the refinement state machine:
+// unrefined estimators refine once they hold enough concentrated
+// evidence; refined estimators whose mass piles on a window edge (the
+// truth moved or the window was wrong) fall back to the coarse grid and
+// start over.
+func (v *View) refineStep(est *bayes.Estimator, refined, shared bool) (*bayes.Estimator, bool, bool) {
+	if !refined {
+		if est.Observations() < v.params.RefineMinObs {
+			return est, refined, shared
+		}
+		if _, mass := est.MAP(); mass < v.params.RefineMass {
+			return est, refined, shared
+		}
+		return est.Refine(), true, false
+	}
+	if est.EdgeStuck(v.params.RefineMass) {
+		// Abandon the refinement: the coarse grid re-localizes from
+		// scratch and a better window is chosen later.
+		return bayes.MustNew(v.params.Intervals), false, false
+	}
+	return est, refined, shared
+}
+
+// linkTo returns the state of the direct link self—j, or nil.
+func (v *View) linkTo(j topology.NodeID) *linkState {
+	idx := v.interner.Lookup(topology.NewLink(v.self, j))
+	if idx < 0 || idx >= len(v.links) {
+		return nil
+	}
+	return v.links[idx]
+}
+
+// OnRecover is Event 4: the process just returned from a crash that
+// lasted missedTicks heartbeat periods; its self-reliability belief is
+// decreased proportionally.
+func (v *View) OnRecover(missedTicks int) {
+	v.procs[v.self].mutable().ObserveFailure(missedTicks)
+}
+
+// MergeFrom is Event 1 operating directly on the sender's live view
+// (simulation fast path; both views must share an interner). senderSeq is
+// the heartbeat sequence number carried by the message — it is passed
+// explicitly rather than read from src so that in-flight heartbeats keep
+// the sequence they were sent with even if the sender has since moved on.
+func (v *View) MergeFrom(from topology.NodeID, senderSeq uint64, src *View) error {
+	if src.interner != v.interner {
+		return fmt.Errorf("knowledge: MergeFrom requires a shared interner; use MergeSnapshot")
+	}
+	v.reconcileLink(from, senderSeq)
+	v.mergeEstimates(src)
+	return nil
+}
+
+// MergeKnowledgeOnly merges the estimates and topology of src without the
+// heartbeat sequence accounting. This is the paper's piggybacking remark
+// (Section 4.1): knowledge can ride on application data messages, which
+// spreads estimates faster, but data messages carry no heartbeat sequence
+// numbers, so they must not feed the link-loss bookkeeping — receipts of
+// data are a biased sample (losses are unobservable without sequencing).
+func (v *View) MergeKnowledgeOnly(src *View) error {
+	if src.interner != v.interner {
+		return fmt.Errorf("knowledge: MergeKnowledgeOnly requires a shared interner")
+	}
+	v.mergeEstimates(src)
+	return nil
+}
+
+// mergeEstimates applies selectBestEstimate across all process and link
+// estimates and merges topology knowledge (Algorithm 4 lines 26–33).
+func (v *View) mergeEstimates(src *View) {
+	// Processes: take the most accurate estimate for each (Algorithm 3).
+	for i := range v.procs {
+		v.adoptProc(&v.procs[i], &src.procs[i])
+	}
+
+	// Links: for common links take the best estimate; adopt new links
+	// outright with bumped distortion (lines 28–33).
+	for idx, theirs := range src.links {
+		if theirs == nil {
+			continue
+		}
+		v.ensureLinks(idx)
+		mine := v.links[idx]
+		if mine == nil {
+			theirs.shared = true
+			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist)}
+			continue
+		}
+		if theirs.dist < mine.dist {
+			theirs.shared = true
+			mine.est = theirs.est
+			mine.shared = true
+			mine.dist = bump(theirs.dist)
+		}
+	}
+}
+
+// adoptProc applies selectBestEstimate to one process estimate pair.
+// Adoption shares the estimator object copy-on-write (see procState);
+// sequence numbers, suspicion counters and timeouts are local
+// observations about the *neighbor link*, not part of the propagated
+// estimate, and are never adopted.
+func (v *View) adoptProc(mine, theirs *procState) {
+	if theirs.dist >= mine.dist {
+		return
+	}
+	theirs.shared = true
+	mine.est = theirs.est
+	mine.shared = true
+	mine.dist = bump(theirs.dist)
+	mine.sinceUpdate = 0
+}
+
+// bump increments a distortion, saturating at DistInf.
+func bump(d int) int {
+	if d >= DistInf-1 {
+		return DistInf
+	}
+	return d + 1
+}
+
+// reconcileLink performs the sequence-gap accounting of Event 1 for the
+// direct link to the sender (lines 19–25, with the success-evidence fix
+// documented in the package comment).
+func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64) {
+	ps := &v.procs[from]
+	ls := v.linkTo(from)
+	if ls == nil {
+		// First contact with a previously unknown neighbor (dynamic
+		// topologies): learn the link with zero distortion.
+		v.neighbor[from] = true
+		idx := v.interner.Intern(topology.NewLink(v.self, from))
+		v.ensureLinks(idx)
+		ls = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0}
+		v.links[idx] = ls
+	}
+
+	missed := 0
+	switch {
+	case ps.lastSeq == 0:
+		// First ever contact: the gap to seq 0 reflects the receiver
+		// joining late, not losses; book no failure evidence.
+	case senderSeq > ps.lastSeq:
+		missed = int(senderSeq - ps.lastSeq - 1)
+	default:
+		// senderSeq <= lastSeq means the sender restarted its sequencer
+		// after a crash (volatile memory); no detectable gap.
+	}
+	if missed > 0 {
+		// Exactly `missed` heartbeats were sent and never arrived: ground-
+		// truth loss evidence revealed by the sequence numbers.
+		ls.mutable().ObserveFailure(missed)
+	}
+	if ps.suspected-missed > 1 && ps.timeout < v.params.MaxTimeout {
+		// Suspicions clearly outpaced real losses: the timeout is too
+		// aggressive for this neighbor, relax it (Algorithm 4 line 23).
+		ps.timeout++
+	}
+	ls.mutable().ObserveSuccess(1) // the heartbeat that just arrived
+	ps.suspected = 0
+	ps.lastSeq = senderSeq
+	ps.sinceUpdate = 0
+}
+
+// CrashEstimate returns the current point estimate of P_i and its
+// distortion (DistInf when nothing is known).
+func (v *View) CrashEstimate(i topology.NodeID) (mean float64, dist int) {
+	ps := &v.procs[i]
+	return ps.est.Mean(), ps.dist
+}
+
+// LossEstimate returns the current point estimate of L for link l and its
+// distortion; ok is false when the link is unknown.
+func (v *View) LossEstimate(l topology.Link) (mean float64, dist int, ok bool) {
+	idx := v.interner.Lookup(l)
+	if idx < 0 || idx >= len(v.links) || v.links[idx] == nil {
+		return 0, DistInf, false
+	}
+	return v.links[idx].est.Mean(), v.links[idx].dist, true
+}
+
+// ProcEstimator exposes the Bayesian estimator for process i (read-only
+// use; experiments inspect convergence).
+func (v *View) ProcEstimator(i topology.NodeID) *bayes.Estimator { return v.procs[i].est }
+
+// LinkEstimator exposes the Bayesian estimator for link l, or nil.
+func (v *View) LinkEstimator(l topology.Link) *bayes.Estimator {
+	idx := v.interner.Lookup(l)
+	if idx < 0 || idx >= len(v.links) || v.links[idx] == nil {
+		return nil
+	}
+	return v.links[idx].est
+}
+
+// EstimatedConfig materializes the view into a concrete (G, C) pair for
+// the MRT and optimize() machinery: the graph contains every known link,
+// crash probabilities are posterior means (unknown processes keep the
+// uniform-prior mean 0.5, which steers the MRT away from them until news
+// arrives), and loss probabilities are posterior means.
+func (v *View) EstimatedConfig() (*topology.Graph, *config.Config, error) {
+	g := topology.New(v.n)
+	for i, ls := range v.links {
+		if ls == nil {
+			continue
+		}
+		l := v.interner.Link(i)
+		if _, err := g.AddLink(l.A, l.B); err != nil {
+			return nil, nil, err
+		}
+	}
+	c := config.New(g)
+	for i := range v.procs {
+		if err := c.SetCrash(topology.NodeID(i), v.procs[i].est.Mean()); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, ls := range v.links {
+		if ls == nil {
+			continue
+		}
+		l := v.interner.Link(i)
+		if err := c.SetLossBetween(l.A, l.B, ls.est.Mean()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, c, nil
+}
+
+// Criterion is the convergence test of Figures 5 and 6: an estimate has
+// converged when its MAP interval is within Slack intervals of the one
+// containing the truth and holds at least MinBelief posterior mass.
+type Criterion struct {
+	Slack     int
+	MinBelief float64
+}
+
+// DefaultCriterion matches the experiment driver defaults. The paper does
+// not state its exact criterion ("the Bayesian networks find the right
+// probability interval accurately"); two intervals of slack over U = 100
+// — i.e. the estimate is within ±~0.025 of the truth — with a modest mass
+// requirement lands the convergence effort in the paper's range while
+// staying a meaningful accuracy guarantee.
+var DefaultCriterion = Criterion{Slack: 2, MinBelief: 0.1}
+
+// ConvergedTo reports whether this view has learned the full ground truth:
+// every link of the true topology is known and every process and link
+// estimate satisfies the criterion. Estimates about processes the view has
+// never heard of (distortion ∞) fail the check.
+func (v *View) ConvergedTo(truth *config.Config, crit Criterion) bool {
+	g := truth.Graph()
+	for i := range v.procs {
+		if v.procs[i].dist == DistInf {
+			return false
+		}
+		if !v.procs[i].est.Converged(truth.Crash(topology.NodeID(i)), crit.Slack, crit.MinBelief) {
+			return false
+		}
+	}
+	for li := 0; li < g.NumLinks(); li++ {
+		l := g.Link(li)
+		idx := v.interner.Lookup(l)
+		if idx < 0 || idx >= len(v.links) || v.links[idx] == nil {
+			return false
+		}
+		if !v.links[idx].est.Converged(truth.Loss(li), crit.Slack, crit.MinBelief) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/topology"
+)
+
+// Snapshot is the serializable heartbeat payload: the sender's (Λ_k, C_k)
+// plus its heartbeat sequence number. The live runtime encodes snapshots
+// onto the wire; the simulator skips them and merges views directly (the
+// equivalence of the two paths is covered by tests).
+type Snapshot struct {
+	From  topology.NodeID
+	Seq   uint64
+	Procs []ProcRecord
+	Links []LinkRecord
+}
+
+// ProcRecord carries one process estimate. Processes with infinite
+// distortion (never heard of) are omitted from snapshots entirely.
+type ProcRecord struct {
+	ID   topology.NodeID
+	Dist int
+	Est  bayes.State
+}
+
+// LinkRecord carries one link estimate.
+type LinkRecord struct {
+	Link topology.Link
+	Dist int
+	Est  bayes.State
+}
+
+// Snapshot deep-copies the view into a wire-ready payload.
+func (v *View) Snapshot() *Snapshot {
+	s := &Snapshot{From: v.self, Seq: v.selfSeq}
+	for i := range v.procs {
+		ps := &v.procs[i]
+		if ps.dist == DistInf {
+			continue
+		}
+		s.Procs = append(s.Procs, ProcRecord{
+			ID:   topology.NodeID(i),
+			Dist: ps.dist,
+			Est:  ps.est.State(),
+		})
+	}
+	for idx, ls := range v.links {
+		if ls == nil {
+			continue
+		}
+		s.Links = append(s.Links, LinkRecord{
+			Link: v.interner.Link(idx),
+			Dist: ls.dist,
+			Est:  ls.est.State(),
+		})
+	}
+	return s
+}
+
+// MergeSnapshot is Event 1 over a serialized heartbeat (live-runtime
+// path). It performs exactly the sequence reconciliation and
+// best-estimate selection of MergeFrom.
+func (v *View) MergeSnapshot(s *Snapshot) error {
+	if err := v.checkSnapshot(s); err != nil {
+		return err
+	}
+	v.reconcileLink(s.From, s.Seq)
+	return v.mergeSnapshotEstimates(s)
+}
+
+// MergeSnapshotKnowledgeOnly merges a snapshot's estimates and topology
+// without the heartbeat sequence accounting — the wire-path counterpart
+// of MergeKnowledgeOnly, used for knowledge piggybacked on data frames
+// (data messages carry no heartbeat sequence numbers, so they must not
+// feed the link-loss bookkeeping).
+func (v *View) MergeSnapshotKnowledgeOnly(s *Snapshot) error {
+	if err := v.checkSnapshot(s); err != nil {
+		return err
+	}
+	return v.mergeSnapshotEstimates(s)
+}
+
+// checkSnapshot validates the snapshot header.
+func (v *View) checkSnapshot(s *Snapshot) error {
+	if s.From < 0 || int(s.From) >= v.n {
+		return fmt.Errorf("knowledge: snapshot from unknown process %d", s.From)
+	}
+	if s.From == v.self {
+		return fmt.Errorf("knowledge: refusing to merge own snapshot")
+	}
+	return nil
+}
+
+// mergeSnapshotEstimates applies selectBestEstimate over a snapshot's
+// process and link records (Algorithm 4 lines 26–33, wire path).
+func (v *View) mergeSnapshotEstimates(s *Snapshot) error {
+	for _, pr := range s.Procs {
+		if pr.ID < 0 || int(pr.ID) >= v.n {
+			return fmt.Errorf("knowledge: snapshot names unknown process %d", pr.ID)
+		}
+		mine := &v.procs[pr.ID]
+		if pr.Dist >= mine.dist {
+			continue
+		}
+		est, err := bayes.NewFromState(pr.Est)
+		if err != nil {
+			return fmt.Errorf("knowledge: process %d estimate: %w", pr.ID, err)
+		}
+		mine.est = est // freshly decoded: exclusively ours
+		mine.shared = false
+		mine.dist = bump(pr.Dist)
+		mine.sinceUpdate = 0
+	}
+
+	for _, lr := range s.Links {
+		if lr.Link.A < 0 || int(lr.Link.B) >= v.n || lr.Link.A == lr.Link.B {
+			return fmt.Errorf("knowledge: snapshot carries invalid link %v", lr.Link)
+		}
+		idx := v.interner.Intern(topology.NewLink(lr.Link.A, lr.Link.B))
+		v.ensureLinks(idx)
+		mine := v.links[idx]
+		if mine == nil {
+			est, err := bayes.NewFromState(lr.Est)
+			if err != nil {
+				return fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
+			}
+			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist)}
+			continue
+		}
+		if lr.Dist >= mine.dist {
+			continue
+		}
+		est, err := bayes.NewFromState(lr.Est)
+		if err != nil {
+			return fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
+		}
+		mine.est = est // freshly decoded: exclusively ours
+		mine.shared = false
+		mine.dist = bump(lr.Dist)
+	}
+	return nil
+}

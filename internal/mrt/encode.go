@@ -1,0 +1,72 @@
+package mrt
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivecast/internal/topology"
+)
+
+// Parents returns the tree as a parent vector (Parents()[v] is pred(v),
+// None for the root) — the canonical serialized form used when data
+// messages carry their MRT over a real transport.
+func (t *Tree) Parents() []topology.NodeID {
+	out := make([]topology.NodeID, len(t.parent))
+	copy(out, t.parent)
+	return out
+}
+
+// FromParents reconstructs a tree from a parent vector. The rebuilt tree
+// spans the same nodes with the same parent/child relations; its internal
+// edge ordering is the deterministic BFS order (children sorted by ID),
+// which may differ from the original Prim insertion order — callers that
+// ship per-edge data across the wire must key it by child node, not by
+// edge index (see wire.DataMsg.AllocByNode).
+func FromParents(root topology.NodeID, parents []topology.NodeID) (*Tree, error) {
+	n := len(parents)
+	if n == 0 {
+		return nil, fmt.Errorf("mrt: empty parent vector")
+	}
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("mrt: root %d out of range [0,%d)", root, n)
+	}
+	if parents[root] != topology.None {
+		return nil, fmt.Errorf("mrt: root %d has parent %d", root, parents[root])
+	}
+	t := &Tree{
+		root:     root,
+		parent:   make([]topology.NodeID, n),
+		children: make([][]topology.NodeID, n),
+		order:    make([]topology.NodeID, 0, n),
+		edgeOf:   make([]int, n),
+	}
+	copy(t.parent, parents)
+	for v := 0; v < n; v++ {
+		t.edgeOf[v] = -1
+		id := topology.NodeID(v)
+		if id == root {
+			continue
+		}
+		p := parents[v]
+		if p == topology.None || p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("mrt: node %d has invalid parent %d", v, p)
+		}
+		t.children[p] = append(t.children[p], id)
+	}
+	for v := range t.children {
+		sort.Slice(t.children[v], func(i, j int) bool { return t.children[v][i] < t.children[v][j] })
+	}
+	// BFS assigns order and edge indices; it also detects cycles and
+	// unreachable nodes (both leave order short of n).
+	t.order = append(t.order, root)
+	for qi := 0; qi < len(t.order); qi++ {
+		for _, ch := range t.children[t.order[qi]] {
+			t.edgeOf[ch] = len(t.order) - 1
+			t.order = append(t.order, ch)
+		}
+	}
+	if len(t.order) != n {
+		return nil, fmt.Errorf("mrt: parent vector is not a spanning tree (%d of %d reachable)", len(t.order), n)
+	}
+	return t, nil
+}

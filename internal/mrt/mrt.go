@@ -1,0 +1,250 @@
+// Package mrt implements the paper's Maximum Reliability Tree (Appendix B):
+// a spanning tree of the topology containing the most reliable paths,
+// computed with a modified Prim's algorithm that maximizes the per-edge
+// success probability (1-P_u)(1-L_{u,v})(1-P_v).
+//
+// The MRT is the substrate of the optimal broadcast algorithm (Algorithm 1):
+// the sender roots the tree at itself, the optimize() allocator assigns a
+// retransmission count to every tree edge, and messages flow strictly down
+// the tree. Appendix C proves that among all propagation graphs, some
+// spanning tree is optimal, and that the maximum spanning tree under this
+// edge weight needs the fewest messages.
+//
+// Tie-breaking is deterministic (lexicographic by endpoint IDs), so two
+// processes that agree on the topology and configuration build the same
+// tree for the same root — the agreement property Section 3.1 relies on.
+package mrt
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/topology"
+)
+
+// ErrDisconnected is returned when the topology has no spanning tree
+// reaching every process from the requested root.
+var ErrDisconnected = errors.New("mrt: topology is not connected")
+
+// Tree is a Maximum Reliability Tree rooted at the broadcasting process.
+// Non-root nodes are ordered in the deterministic order Prim added them;
+// edge i of the tree is the link from Parent(EdgeChild(i)) to EdgeChild(i).
+type Tree struct {
+	root     topology.NodeID
+	parent   []topology.NodeID // parent[v] = predecessor of v; None for root
+	children [][]topology.NodeID
+	order    []topology.NodeID // insertion order, root first
+	edgeOf   []int             // edgeOf[v] = edge index of the link leading to v; -1 for root
+}
+
+// cross is a candidate edge from the grown tree S to a node outside S.
+type cross struct {
+	rel  float64 // (1-P_u)(1-L)(1-P_v)
+	from topology.NodeID
+	to   topology.NodeID
+}
+
+// crossHeap is a max-heap on reliability with lexicographic (from, to)
+// tie-breaking for determinism.
+type crossHeap []cross
+
+func (h crossHeap) Len() int { return len(h) }
+func (h crossHeap) Less(i, j int) bool {
+	if h[i].rel != h[j].rel {
+		return h[i].rel > h[j].rel
+	}
+	if h[i].from != h[j].from {
+		return h[i].from < h[j].from
+	}
+	return h[i].to < h[j].to
+}
+func (h crossHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *crossHeap) Push(x interface{}) { *h = append(*h, x.(cross)) }
+func (h *crossHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Build computes mrt(G, C) rooted at root using the modified Prim's
+// algorithm of Appendix B. It returns ErrDisconnected if some process is
+// unreachable from root.
+func Build(g *topology.Graph, c *config.Config, root topology.NodeID) (*Tree, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("mrt: empty topology")
+	}
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("mrt: root %d out of range [0,%d)", root, n)
+	}
+	if c.Graph() != g {
+		return nil, errors.New("mrt: configuration is not aligned with the topology")
+	}
+
+	t := &Tree{
+		root:     root,
+		parent:   make([]topology.NodeID, n),
+		children: make([][]topology.NodeID, n),
+		order:    make([]topology.NodeID, 0, n),
+		edgeOf:   make([]int, n),
+	}
+	inTree := make([]bool, n)
+	for i := range t.parent {
+		t.parent[i] = topology.None
+		t.edgeOf[i] = -1
+	}
+
+	h := &crossHeap{}
+	add := func(v topology.NodeID) {
+		inTree[v] = true
+		t.order = append(t.order, v)
+		nbs := g.Neighbors(v)
+		linkIdxs := g.NeighborLinks(v)
+		for i, w := range nbs {
+			if inTree[w] {
+				continue
+			}
+			// Canonical multiplication order (lower ID first) keeps the
+			// weight bit-identical with config.EdgeReliability and across
+			// traversal directions, which the determinism guarantee needs.
+			a, b := v, w
+			if a > b {
+				a, b = b, a
+			}
+			rel := (1 - c.Crash(a)) * (1 - c.Loss(linkIdxs[i])) * (1 - c.Crash(b))
+			heap.Push(h, cross{rel: rel, from: v, to: w})
+		}
+	}
+
+	add(root)
+	for len(t.order) < n {
+		if h.Len() == 0 {
+			return nil, ErrDisconnected
+		}
+		e := heap.Pop(h).(cross)
+		if inTree[e.to] {
+			continue // stale entry; a better edge already claimed e.to
+		}
+		t.parent[e.to] = e.from
+		t.children[e.from] = append(t.children[e.from], e.to)
+		t.edgeOf[e.to] = len(t.order) - 1 // edge index = position among non-root nodes
+		add(e.to)
+	}
+	return t, nil
+}
+
+// Root returns the broadcasting process the tree is rooted at.
+func (t *Tree) Root() topology.NodeID { return t.root }
+
+// NumNodes returns the number of processes spanned by the tree.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// NumEdges returns |Π|-1, the number of tree links.
+func (t *Tree) NumEdges() int { return len(t.parent) - 1 }
+
+// Parent returns pred(v), the process that precedes v on the path from the
+// root (None for the root itself).
+func (t *Tree) Parent(v topology.NodeID) topology.NodeID { return t.parent[v] }
+
+// Children returns the direct subtree roots of v (the roots of S_v in the
+// paper's notation). The returned slice is shared; callers must not modify
+// it.
+func (t *Tree) Children(v topology.NodeID) []topology.NodeID { return t.children[v] }
+
+// Order returns the deterministic node ordering, root first. The returned
+// slice is shared; callers must not modify it.
+func (t *Tree) Order() []topology.NodeID { return t.order }
+
+// EdgeChild returns the child endpoint of tree edge i (edges are indexed
+// 0..NumEdges-1 in insertion order).
+func (t *Tree) EdgeChild(i int) topology.NodeID { return t.order[i+1] }
+
+// EdgeOf returns the edge index of the link leading to v, or -1 for the
+// root.
+func (t *Tree) EdgeOf(v topology.NodeID) int { return t.edgeOf[v] }
+
+// Lambdas returns, aligned with edge indices, the per-edge single-
+// transmission failure probability λ_j = 1-(1-P_pred(j))(1-L_j)(1-P_j)
+// evaluated against c. This is the vector the optimize() allocator
+// consumes. c may differ from the configuration the tree was built with
+// (the adaptive protocol re-evaluates trees as estimates improve), but it
+// must cover every tree link.
+func (t *Tree) Lambdas(c *config.Config) ([]float64, error) {
+	out := make([]float64, t.NumEdges())
+	for i := range out {
+		child := t.EdgeChild(i)
+		lam, err := c.Lambda(t.parent[child], child)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: edge %d: %w", i, err)
+		}
+		out[i] = lam
+	}
+	return out, nil
+}
+
+// TotalWeight returns the sum of edge reliabilities under c. The MRT is a
+// maximum spanning tree, so no other spanning tree of the same topology
+// has a larger total (the property behind Lemma 2's edge bijection).
+func (t *Tree) TotalWeight(c *config.Config) (float64, error) {
+	var sum float64
+	for i := 0; i < t.NumEdges(); i++ {
+		child := t.EdgeChild(i)
+		rel, err := c.EdgeReliability(t.parent[child], child)
+		if err != nil {
+			return 0, err
+		}
+		sum += rel
+	}
+	return sum, nil
+}
+
+// Validate checks the structural invariants: exactly n-1 edges, every
+// non-root node has a parent, the parent pointers are acyclic and reach
+// the root, and every tree edge exists in g.
+func (t *Tree) Validate(g *topology.Graph) error {
+	n := t.NumNodes()
+	if g.NumNodes() != n {
+		return fmt.Errorf("mrt: tree spans %d nodes, topology has %d", n, g.NumNodes())
+	}
+	if len(t.order) != n {
+		return fmt.Errorf("mrt: order covers %d of %d nodes", len(t.order), n)
+	}
+	for v := 0; v < n; v++ {
+		id := topology.NodeID(v)
+		if id == t.root {
+			if t.parent[v] != topology.None {
+				return fmt.Errorf("mrt: root %d has parent %d", id, t.parent[v])
+			}
+			continue
+		}
+		p := t.parent[v]
+		if p == topology.None {
+			return fmt.Errorf("mrt: node %d has no parent", id)
+		}
+		if !g.HasLink(p, id) {
+			return fmt.Errorf("mrt: tree edge (%d,%d) is not a topology link", p, id)
+		}
+		// Walk to the root; more than n steps means a cycle.
+		steps := 0
+		for cur := id; cur != t.root; cur = t.parent[cur] {
+			steps++
+			if steps > n {
+				return fmt.Errorf("mrt: cycle detected at node %d", id)
+			}
+		}
+	}
+	return nil
+}
+
+// Depth returns the hop distance of v from the root within the tree.
+func (t *Tree) Depth(v topology.NodeID) int {
+	d := 0
+	for cur := v; cur != t.root; cur = t.parent[cur] {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,523 @@
+// Package node is the live runtime: a goroutine-driven implementation of
+// the paper's full adaptive stack — the knowledge approximation activity
+// (Algorithm 4) on a real clock and the reliable broadcast activity
+// (Algorithm 1) — over a pluggable transport. The simulator and the live
+// node share every algorithmic component (knowledge, mrt, optimize), so
+// the two cannot drift apart; the node adds timers, serialization,
+// stable-storage crash accounting and delivery plumbing.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adaptivecast/internal/dedup"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/mrt"
+	"adaptivecast/internal/optimize"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+	"adaptivecast/internal/wire"
+)
+
+// DefaultK is the default reliability target (the paper's 0.9999).
+const DefaultK = 0.9999
+
+// Delivery is one broadcast handed to the application.
+type Delivery struct {
+	Origin topology.NodeID // broadcast originator
+	Seq    uint64          // originator-local sequence number
+	From   topology.NodeID // immediate sender (tree parent), Origin for local broadcasts
+	Body   []byte
+}
+
+// Stats counts node-level events. Retrieve a snapshot with Node.Stats.
+type Stats struct {
+	HeartbeatsSent     int
+	HeartbeatsReceived int
+	DataSent           int
+	DataReceived       int
+	Delivered          int
+	DroppedDeliveries  int // deliveries discarded because the channel was full
+	SuppressedReplays  int // redeliveries filtered by the durable dedup log
+	FallbackFloods     int // broadcasts flooded for lack of a connected view
+	DecodeErrors       int
+	LogErrors          int // dedup-log write failures (delivery degrades to at-least-once)
+}
+
+// Config configures a node.
+type Config struct {
+	// ID is this process; IDs are dense in [0, NumProcs).
+	ID topology.NodeID
+	// NumProcs is |Π| (the paper assumes the process set is known).
+	NumProcs int
+	// Neighbors are the directly connected processes.
+	Neighbors []topology.NodeID
+	// K is the reliability target (default DefaultK).
+	K float64
+	// HeartbeatEvery is δ, the heartbeat period (default 1s).
+	HeartbeatEvery time.Duration
+	// Knowledge tunes the view (Bayesian intervals, timeouts).
+	Knowledge knowledge.Params
+	// Storage, when set, enables the crash-recovery clock-mark protocol
+	// (Events 3/4 across restarts).
+	Storage StableStorage
+	// Piggyback attaches this node's knowledge snapshot to outgoing data
+	// frames (Section 4.1's bandwidth optimization): application traffic
+	// then spreads estimates in addition to heartbeats. Costs one
+	// snapshot serialization per hop per broadcast.
+	Piggyback bool
+	// DedupLog, when set, upgrades delivery to exactly-once across
+	// crashes (the paper's Section 2.2 local-logging construction): every
+	// delivery is durably recorded before it reaches the application, so
+	// a recovered node suppresses redeliveries of already-acknowledged
+	// broadcasts. Without it, delivery is exactly-once per incarnation
+	// and at-least-once across crashes.
+	DedupLog *dedup.Log
+	// DeliveryBuffer sizes the delivery channel (default 128). When the
+	// application lags, further deliveries are dropped and counted.
+	DeliveryBuffer int
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = DefaultK
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.DeliveryBuffer == 0 {
+		c.DeliveryBuffer = 128
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// msgKey dedups broadcasts.
+type msgKey struct {
+	origin topology.NodeID
+	seq    uint64
+}
+
+// Node is one live process.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu        sync.Mutex
+	view      *knowledge.View
+	seq       uint64
+	delivered map[msgKey]bool
+	stats     Stats
+	closed    bool
+
+	deliveries chan Delivery
+	stop       chan struct{}
+	done       chan struct{}
+	started    bool
+	startOnce  sync.Once
+	stopOnce   sync.Once
+}
+
+// New builds a node over the given transport. If stable storage holds a
+// previous clock mark, the downtime since that mark is booked as missed
+// ticks (Event 4) before the node starts.
+func New(cfg Config, tr transport.Transport) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if tr == nil {
+		return nil, errors.New("node: nil transport")
+	}
+	if tr.Local() != cfg.ID {
+		return nil, fmt.Errorf("node: transport speaks for %d, config says %d", tr.Local(), cfg.ID)
+	}
+	if cfg.K <= 0 || cfg.K >= 1 {
+		return nil, fmt.Errorf("node: K=%v outside (0,1)", cfg.K)
+	}
+	view, err := knowledge.NewView(cfg.ID, cfg.NumProcs, cfg.Neighbors, nil, cfg.Knowledge)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:        cfg,
+		tr:         tr,
+		view:       view,
+		delivered:  make(map[msgKey]bool),
+		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if cfg.Storage != nil {
+		mark, ok, err := cfg.Storage.LoadMark()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			missed := int(cfg.Now().Sub(mark) / cfg.HeartbeatEvery)
+			if missed > 0 {
+				view.OnRecover(missed)
+			}
+		}
+	}
+	if cfg.DedupLog != nil {
+		// Resume broadcast sequencing above anything this node originated
+		// before a crash, so post-recovery broadcasts get fresh IDs.
+		n.seq = cfg.DedupLog.MaxSeq(cfg.ID)
+	}
+	tr.SetHandler(n.handle)
+	return n, nil
+}
+
+// Start launches the heartbeat activity. It is idempotent.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.mu.Lock()
+		n.started = true
+		n.mu.Unlock()
+		go n.heartbeatLoop()
+	})
+}
+
+// Stop halts the heartbeat activity (if started) and waits for it to
+// exit. The transport is not closed (the caller owns it). Stop is
+// idempotent and safe on nodes that were never started — deterministic
+// drivers pace nodes with Tick instead of Start.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.mu.Lock()
+		started := n.started
+		n.mu.Unlock()
+		if started {
+			<-n.done
+		}
+		n.mu.Lock()
+		n.closed = true
+		n.mu.Unlock()
+	})
+}
+
+// Deliveries returns the channel of application deliveries.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
+
+// Stats returns a snapshot of the node counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// CrashEstimate reads the node's current estimate of process i.
+func (n *Node) CrashEstimate(i topology.NodeID) (mean float64, dist int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.CrashEstimate(i)
+}
+
+// LossEstimate reads the node's current estimate of link l.
+func (n *Node) LossEstimate(l topology.Link) (mean float64, dist int, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.LossEstimate(l)
+}
+
+// KnownLinks reports the links the node has discovered.
+func (n *Node) KnownLinks() []topology.Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.KnownLinks()
+}
+
+// heartbeatLoop is the periodic activity of Algorithm 4 on a real clock.
+func (n *Node) heartbeatLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.Tick()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// Tick executes one heartbeat period synchronously: Events 2 and 3, a
+// stable-storage clock mark, and a heartbeat to every neighbor. It is
+// exported so tests and deterministic drivers can pace the node without
+// real time.
+func (n *Node) Tick() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.view.BeginPeriod()
+	snap := n.view.Snapshot()
+	n.mu.Unlock()
+
+	if n.cfg.Storage != nil {
+		// A failed mark is not fatal: it only degrades the crash
+		// self-estimate after the next restart.
+		_ = n.cfg.Storage.SaveMark(n.cfg.Now())
+	}
+
+	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: snap})
+	if err != nil {
+		return
+	}
+	sent := 0
+	for _, nb := range n.cfg.Neighbors {
+		if err := n.tr.Send(nb, frame); err == nil {
+			sent++
+		}
+	}
+	n.mu.Lock()
+	n.stats.HeartbeatsSent += sent
+	n.mu.Unlock()
+}
+
+// Broadcast initiates a reliable broadcast (Algorithm 1). It returns the
+// broadcast's sequence number and the planned number of data messages
+// (Σ m[j]); when the current view cannot produce a spanning MRT yet, the
+// message is flooded to the neighbors instead and planned is the flood
+// fan-out.
+func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, 0, errors.New("node: stopped")
+	}
+	n.seq++
+	seq = n.seq
+	key := msgKey{origin: n.cfg.ID, seq: seq}
+	n.delivered[key] = true
+	n.stats.Delivered++
+	if n.cfg.DedupLog != nil {
+		if _, err := n.cfg.DedupLog.Record(dedup.ID{Origin: n.cfg.ID, Seq: seq}); err != nil {
+			n.stats.LogErrors++
+		}
+	}
+
+	msg := &wire.DataMsg{Origin: n.cfg.ID, Seq: seq, Root: n.cfg.ID, Body: body}
+	tree, alloc, planErr := n.planLocked()
+	if planErr == nil {
+		msg.Parents = tree.Parents()
+		msg.AllocByNode = allocByNode(tree, alloc)
+		planned = optimize.Total(alloc)
+	} else {
+		n.stats.FallbackFloods++
+		planned = len(n.cfg.Neighbors)
+	}
+	n.mu.Unlock()
+
+	n.pushDelivery(Delivery{Origin: n.cfg.ID, Seq: seq, From: n.cfg.ID, Body: body})
+
+	if planErr == nil {
+		err = n.forward(tree, msg)
+	} else {
+		err = n.flood(msg)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return seq, planned, nil
+}
+
+// encodeData serializes a data message, attaching this node's current
+// knowledge snapshot when piggybacking is enabled (each hop re-attaches
+// its own view, so distortion accounting matches hop-by-hop heartbeats).
+func (n *Node) encodeData(msg *wire.DataMsg) ([]byte, error) {
+	if n.cfg.Piggyback {
+		cp := *msg
+		n.mu.Lock()
+		cp.Piggyback = n.view.Snapshot()
+		n.mu.Unlock()
+		msg = &cp
+	}
+	return wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: msg})
+}
+
+// planLocked builds (MRT, allocation) from the current view. Callers hold
+// n.mu.
+func (n *Node) planLocked() (*mrt.Tree, []int, error) {
+	g, cfg, err := n.view.EstimatedConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := mrt.Build(g, cfg, n.cfg.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	lams, err := tree.Lambdas(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, err := optimize.Greedy(lams, n.cfg.K, optimize.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, alloc, nil
+}
+
+// allocByNode re-keys an edge-indexed allocation by child node for the
+// wire format.
+func allocByNode(tree *mrt.Tree, alloc []int) []int32 {
+	out := make([]int32, tree.NumNodes())
+	for i := 0; i < tree.NumEdges(); i++ {
+		out[tree.EdgeChild(i)] = int32(alloc[i])
+	}
+	return out
+}
+
+// forward pushes the allocated copies to this node's children in the
+// message's tree (Algorithm 1 lines 8–12).
+func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
+	frame, err := n.encodeData(msg)
+	if err != nil {
+		return err
+	}
+	sent := 0
+	for _, child := range tree.Children(n.cfg.ID) {
+		copies := 0
+		if int(child) < len(msg.AllocByNode) {
+			copies = int(msg.AllocByNode[child])
+		}
+		for i := 0; i < copies; i++ {
+			if err := n.tr.Send(child, frame); err == nil {
+				sent++
+			}
+		}
+	}
+	n.mu.Lock()
+	n.stats.DataSent += sent
+	n.mu.Unlock()
+	return nil
+}
+
+// flood sends one copy to every neighbor (warm-up fallback).
+func (n *Node) flood(msg *wire.DataMsg) error {
+	frame, err := n.encodeData(msg)
+	if err != nil {
+		return err
+	}
+	sent := 0
+	for _, nb := range n.cfg.Neighbors {
+		if err := n.tr.Send(nb, frame); err == nil {
+			sent++
+		}
+	}
+	n.mu.Lock()
+	n.stats.DataSent += sent
+	n.mu.Unlock()
+	return nil
+}
+
+// handle is the transport callback; frames arrive serialized.
+func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
+	frame, err := wire.Decode(frameBytes)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.DecodeErrors++
+		n.mu.Unlock()
+		return
+	}
+	switch frame.Kind {
+	case wire.FrameHeartbeat:
+		n.mu.Lock()
+		if !n.closed {
+			if err := n.view.MergeSnapshot(frame.Heartbeat); err == nil {
+				n.stats.HeartbeatsReceived++
+			} else {
+				n.stats.DecodeErrors++
+			}
+		}
+		n.mu.Unlock()
+	case wire.FrameData:
+		n.handleData(from, frame.Data)
+	}
+}
+
+// handleData is Algorithm 1 lines 5–7: deliver on first receipt, then
+// keep propagating along the carried tree (or re-flood warm-up messages).
+func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
+	key := msgKey{origin: msg.Origin, seq: msg.Seq}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if msg.Piggyback != nil {
+		// Piggybacked knowledge is merged on every copy, duplicates
+		// included: each arrival carries the sender's current view.
+		if err := n.view.MergeSnapshotKnowledgeOnly(msg.Piggyback); err != nil {
+			n.stats.DecodeErrors++
+		}
+	}
+	if n.delivered[key] {
+		n.mu.Unlock()
+		return
+	}
+	n.delivered[key] = true
+	n.stats.DataReceived++
+	deliver := true
+	if n.cfg.DedupLog != nil {
+		fresh, err := n.cfg.DedupLog.Record(dedup.ID{Origin: msg.Origin, Seq: msg.Seq})
+		switch {
+		case err != nil:
+			// Logging failed: deliver anyway (degrade to at-least-once
+			// rather than losing the message) and record the failure.
+			n.stats.LogErrors++
+		case !fresh:
+			// Delivered before a crash in a previous incarnation:
+			// suppress the replay but keep forwarding so the rest of the
+			// tree is still served.
+			deliver = false
+			n.stats.SuppressedReplays++
+		}
+	}
+	if deliver {
+		n.stats.Delivered++
+	}
+	n.mu.Unlock()
+
+	if deliver {
+		n.pushDelivery(Delivery{Origin: msg.Origin, Seq: msg.Seq, From: from, Body: msg.Body})
+	}
+
+	if len(msg.Parents) == 0 {
+		// Flood errors mean a knowledge-snapshot failed to encode; the
+		// message was already delivered locally, so just drop the relay.
+		_ = n.flood(msg)
+		return
+	}
+	tree, err := mrt.FromParents(msg.Root, msg.Parents)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.DecodeErrors++
+		n.mu.Unlock()
+		return
+	}
+	if int(n.cfg.ID) >= tree.NumNodes() {
+		return // tree predates our membership; nothing to forward
+	}
+	_ = n.forward(tree, msg)
+}
+
+// pushDelivery hands a delivery to the application without blocking the
+// receive path; overflow is dropped and counted.
+func (n *Node) pushDelivery(d Delivery) {
+	select {
+	case n.deliveries <- d:
+	default:
+		n.mu.Lock()
+		n.stats.DroppedDeliveries++
+		n.mu.Unlock()
+	}
+}

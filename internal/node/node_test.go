@@ -1,0 +1,509 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptivecast/internal/dedup"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+)
+
+// buildCluster wires one node per process of g over a shared fabric.
+// Nodes are not started; tests pace them with Tick for determinism.
+func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg func(i int) Config) []*Node {
+	t.Helper()
+	n := g.NumNodes()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		c := Config{
+			ID:        topology.NodeID(i),
+			NumProcs:  n,
+			Neighbors: g.Neighbors(topology.NodeID(i)),
+		}
+		if cfg != nil {
+			over := cfg(i)
+			if over.K != 0 {
+				c.K = over.K
+			}
+			if over.Storage != nil {
+				c.Storage = over.Storage
+			}
+			if over.DeliveryBuffer != 0 {
+				c.DeliveryBuffer = over.DeliveryBuffer
+			}
+		}
+		nd, err := New(c, fabric.Endpoint(topology.NodeID(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes
+}
+
+// tickAll advances every node one heartbeat period and lets the fabric
+// drain.
+func tickAll(nodes []*Node) {
+	for _, nd := range nodes {
+		nd.Tick()
+	}
+	// The fabric delivers through per-endpoint goroutines; give them a
+	// moment to drain. Handler work is tiny, so this stays fast.
+	time.Sleep(2 * time.Millisecond)
+}
+
+func drainDeliveries(nd *Node) []Delivery {
+	var out []Delivery
+	for {
+		select {
+		case d := <-nd.Deliveries():
+			out = append(out, d)
+		default:
+			return out
+		}
+	}
+}
+
+func waitDelivery(t *testing.T, nd *Node) Delivery {
+	t.Helper()
+	select {
+	case d := <-nd.Deliveries():
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+		return Delivery{}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	ep := fabric.Endpoint(0)
+
+	if _, err := New(Config{ID: 0, NumProcs: 2, Neighbors: []topology.NodeID{1}}, nil); err == nil {
+		t.Error("nil transport should fail")
+	}
+	if _, err := New(Config{ID: 1, NumProcs: 2, Neighbors: []topology.NodeID{0}}, ep); err == nil {
+		t.Error("transport/config ID mismatch should fail")
+	}
+	if _, err := New(Config{ID: 0, NumProcs: 2, Neighbors: []topology.NodeID{1}, K: 2}, ep); err == nil {
+		t.Error("invalid K should fail")
+	}
+	if _, err := New(Config{ID: 0, NumProcs: 1, Neighbors: []topology.NodeID{5}}, ep); err == nil {
+		t.Error("bad neighbor should fail")
+	}
+}
+
+func TestFloodBroadcastBeforeConvergence(t *testing.T) {
+	g, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+
+	// No heartbeats yet: the view is disconnected, so this must flood.
+	_, planned, err := nodes[0].Broadcast([]byte("early"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned != 2 {
+		t.Errorf("planned = %d, want flood fan-out 2", planned)
+	}
+	if nodes[0].Stats().FallbackFloods != 1 {
+		t.Error("flood not counted")
+	}
+	for i, nd := range nodes {
+		d := waitDelivery(t, nd)
+		if string(d.Body) != "early" || d.Origin != 0 {
+			t.Errorf("node %d delivery = %+v", i, d)
+		}
+	}
+}
+
+func TestHeartbeatsConvergeTopologyAndTreeBroadcast(t *testing.T) {
+	g, err := topology.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+
+	// Diameter of ring(6) is 3; a few extra periods let everything settle.
+	for p := 0; p < 8; p++ {
+		tickAll(nodes)
+	}
+	for i, nd := range nodes {
+		if got := len(nd.KnownLinks()); got != 6 {
+			t.Fatalf("node %d knows %d links, want 6", i, got)
+		}
+	}
+
+	// Now broadcasts ride a real MRT: on a (still believed lossy-ish)
+	// ring the tree has n-1 = 5 edges; planned = Σ alloc ≥ 5 and no
+	// flooding.
+	_, planned, err := nodes[2].Broadcast([]byte("tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[2].Stats().FallbackFloods != 0 {
+		t.Error("flooded despite converged topology")
+	}
+	if planned < 5 {
+		t.Errorf("planned = %d, want >= 5", planned)
+	}
+	for i, nd := range nodes {
+		found := false
+		deadline := time.After(5 * time.Second)
+		for !found {
+			select {
+			case d := <-nd.Deliveries():
+				if string(d.Body) == "tree" {
+					found = true
+				}
+			case <-deadline:
+				t.Fatalf("node %d never delivered", i)
+			}
+		}
+	}
+}
+
+func TestDedupAcrossCopies(t *testing.T) {
+	g, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+	for p := 0; p < 6; p++ {
+		tickAll(nodes)
+	}
+	drainAll := func() {
+		for _, nd := range nodes {
+			drainDeliveries(nd)
+		}
+	}
+	drainAll()
+
+	for b := 0; b < 3; b++ {
+		if _, _, err := nodes[1].Broadcast([]byte(fmt.Sprintf("b%d", b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i, nd := range nodes {
+		got := drainDeliveries(nd)
+		if len(got) != 3 {
+			t.Errorf("node %d delivered %d messages, want exactly 3 (dedup)", i, len(got))
+		}
+	}
+}
+
+func TestLossEstimateConvergesOnLiveStack(t *testing.T) {
+	const trueLoss = 0.2
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{Seed: 99})
+	defer func() { _ = fabric.Close() }()
+	if err := fabric.SetLoss(0, 1, trueLoss); err != nil {
+		t.Fatal(err)
+	}
+	nodes := buildCluster(t, g, fabric, nil)
+	for p := 0; p < 1200; p++ {
+		tickAll(nodes)
+	}
+	link := topology.NewLink(0, 1)
+	for i, nd := range nodes {
+		got, dist, ok := nd.LossEstimate(link)
+		if !ok || dist != 0 {
+			t.Fatalf("node %d: ok=%v dist=%d", i, ok, dist)
+		}
+		if math.Abs(got-trueLoss) > 0.06 {
+			t.Errorf("node %d loss estimate = %v, want ≈%v", i, got, trueLoss)
+		}
+	}
+}
+
+func TestCrashRecoveryViaStableStorage(t *testing.T) {
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &MemStorage{}
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	cfg := Config{
+		ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0),
+		Storage: store, HeartbeatEvery: time.Second, Now: clock,
+	}
+	nd, err := New(cfg, fabric.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		nd.Tick()
+		now = now.Add(time.Second)
+	}
+	healthy, _ := nd.CrashEstimate(0)
+	nd.Stop()
+
+	// The "machine" is down for 60 heartbeat periods, then restarts.
+	now = now.Add(60 * time.Second)
+	fabric2 := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric2.Close() }()
+	nd2, err := New(cfg, fabric2.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd2.Stop()
+	recovered, _ := nd2.CrashEstimate(0)
+	if recovered <= healthy {
+		t.Errorf("crash estimate after 60 missed periods = %v, want > healthy %v", recovered, healthy)
+	}
+}
+
+func TestFileStorage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mark")
+	fs := NewFileStorage(path)
+	if _, ok, err := fs.LoadMark(); err != nil || ok {
+		t.Fatalf("empty storage: ok=%v err=%v", ok, err)
+	}
+	want := time.Unix(123456, 789)
+	if err := fs.SaveMark(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.LoadMark()
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("mark = %v, want %v", got, want)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+	nd := nodes[0]
+	nd.Start()
+	nd.Start() // idempotent
+	nd.Stop()
+	nd.Stop() // idempotent
+	if _, _, err := nd.Broadcast([]byte("x")); err == nil {
+		t.Error("broadcast after Stop should fail")
+	}
+	nd.Tick() // must be a no-op, not a panic
+}
+
+func TestDeliveryOverflowCounted(t *testing.T) {
+	g, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, func(i int) Config {
+		return Config{DeliveryBuffer: 1}
+	})
+	for p := 0; p < 6; p++ {
+		tickAll(nodes)
+	}
+	// Two broadcasts into a 1-slot buffer nobody drains.
+	if _, _, err := nodes[0].Broadcast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nodes[0].Broadcast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].Stats().DroppedDeliveries == 0 {
+		t.Error("overflow not counted")
+	}
+}
+
+// TestExactlyOnceAcrossRestart exercises the dedup-log integration: a node
+// that delivered a broadcast, crashed, and restarted must suppress a
+// replayed copy (the paper's Section 2.2 local-logging construction).
+func TestExactlyOnceAcrossRestart(t *testing.T) {
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "dedup.log")
+	dlog, err := dedup.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	cfg1 := Config{ID: 1, NumProcs: 2, Neighbors: g.Neighbors(1), DedupLog: dlog}
+	receiver, err := New(cfg1, fabric.Endpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := New(Config{ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0)}, fabric.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := sender.Broadcast([]byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	d := waitDelivery(t, receiver)
+	if string(d.Body) != "once" {
+		t.Fatalf("delivery = %+v", d)
+	}
+
+	// Crash the receiver: stop it, drop all volatile state, reopen the
+	// durable log, and build a fresh incarnation on a fresh fabric.
+	receiver.Stop()
+	if err := dlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dlog2, err := dedup.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dlog2.Close() }()
+
+	fabric2 := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric2.Close() }()
+	cfg2 := cfg1
+	cfg2.DedupLog = dlog2
+	receiver2, err := New(cfg2, fabric2.Endpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer receiver2.Stop()
+	sender2, err := New(Config{ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0)}, fabric2.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Stop()
+
+	// The sender replays the same broadcast ID (seq restarts at 1 since
+	// the sender has no log): the receiver must suppress it.
+	if _, _, err := sender2.Broadcast([]byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := len(drainDeliveries(receiver2)); got != 0 {
+		t.Errorf("replay delivered %d times after restart, want 0", got)
+	}
+	if receiver2.Stats().SuppressedReplays != 1 {
+		t.Errorf("SuppressedReplays = %d, want 1", receiver2.Stats().SuppressedReplays)
+	}
+
+	// A genuinely new broadcast still goes through.
+	if _, _, err := sender2.Broadcast([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	d = waitDelivery(t, receiver2)
+	if string(d.Body) != "new" {
+		t.Fatalf("new broadcast lost: %+v", d)
+	}
+}
+
+// TestDedupLogResumesSequencing checks a restarting origin skips past its
+// own logged sequence numbers.
+func TestDedupLogResumesSequencing(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "dedup.log")
+	dlog, err := dedup.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	cfg := Config{ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0), DedupLog: dlog}
+	nd, err := New(cfg, fabric.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := nd.Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nd.Stop()
+	if err := dlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dlog2, err := dedup.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dlog2.Close() }()
+	fabric2 := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric2.Close() }()
+	cfg.DedupLog = dlog2
+	nd2, err := New(cfg, fabric2.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd2.Stop()
+	seq, _, err := nd2.Broadcast([]byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Errorf("post-restart seq = %d, want 4 (resumed above the log)", seq)
+	}
+}
+
+// TestPiggybackOnLiveStack checks Section 4.1's optimization on the wire
+// path: with piggybacking on, data traffic alone spreads topology
+// knowledge between live nodes.
+func TestPiggybackOnLiveStack(t *testing.T) {
+	g, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := make([]*Node, 5)
+	for i := range nodes {
+		id := topology.NodeID(i)
+		nd, err := New(Config{
+			ID: id, NumProcs: 5, Neighbors: g.Neighbors(id),
+			Piggyback: true,
+		}, fabric.Endpoint(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	// No heartbeats at all: knowledge moves only on flooded data frames.
+	for round := 0; round < 5; round++ {
+		if _, _, err := nodes[round].Broadcast([]byte("pb")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, nd := range nodes {
+		if got := len(nd.KnownLinks()); got < 4 {
+			t.Errorf("node %d knows only %d links with piggybacking", i, got)
+		}
+	}
+}

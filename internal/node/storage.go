@@ -1,0 +1,89 @@
+package node
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StableStorage persists the periodic clock mark the paper uses to
+// estimate a process's own crash probability (Section 4.1): the process
+// writes the current time every period; after a crash it compares the
+// last mark with the current clock to count the missed intervals
+// (Event 4).
+type StableStorage interface {
+	// SaveMark records the latest alive-timestamp.
+	SaveMark(t time.Time) error
+	// LoadMark returns the last recorded timestamp; ok is false when
+	// nothing was ever recorded.
+	LoadMark() (t time.Time, ok bool, err error)
+}
+
+// MemStorage is an in-memory StableStorage for tests and simulations of
+// the live stack. It survives node restarts within one process.
+type MemStorage struct {
+	mu   sync.Mutex
+	mark time.Time
+	set  bool
+}
+
+var _ StableStorage = (*MemStorage)(nil)
+
+// SaveMark implements StableStorage.
+func (m *MemStorage) SaveMark(t time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mark, m.set = t, true
+	return nil
+}
+
+// LoadMark implements StableStorage.
+func (m *MemStorage) LoadMark() (time.Time, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mark, m.set, nil
+}
+
+// FileStorage persists the mark in a small text file — the minimal stable
+// storage the paper's crash/recovery model requires.
+type FileStorage struct {
+	path string
+}
+
+var _ StableStorage = (*FileStorage)(nil)
+
+// NewFileStorage returns storage backed by the given path.
+func NewFileStorage(path string) *FileStorage { return &FileStorage{path: path} }
+
+// SaveMark implements StableStorage: an atomic write of the timestamp in
+// nanoseconds.
+func (f *FileStorage) SaveMark(t time.Time) error {
+	tmp := f.path + ".tmp"
+	data := strconv.FormatInt(t.UnixNano(), 10) + "\n"
+	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+		return fmt.Errorf("node: storage write: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		return fmt.Errorf("node: storage rename: %w", err)
+	}
+	return nil
+}
+
+// LoadMark implements StableStorage.
+func (f *FileStorage) LoadMark() (time.Time, bool, error) {
+	data, err := os.ReadFile(f.path)
+	if os.IsNotExist(err) {
+		return time.Time{}, false, nil
+	}
+	if err != nil {
+		return time.Time{}, false, fmt.Errorf("node: storage read: %w", err)
+	}
+	ns, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return time.Time{}, false, fmt.Errorf("node: storage parse: %w", err)
+	}
+	return time.Unix(0, ns), true, nil
+}

@@ -1,0 +1,57 @@
+package optimize
+
+import (
+	"math"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/mrt"
+	"adaptivecast/internal/topology"
+)
+
+// ReachTree evaluates the reach function in its recursive form (Eq. 1),
+// walking the tree's direct subtrees exactly as the paper defines it. The
+// iterative Reach over Tree.Lambdas must agree with this function (they
+// are the same quantity, Eq. 1 vs Eq. 2); tests exploit that equivalence.
+// m is aligned with the tree's edge indices.
+func ReachTree(t *mrt.Tree, c *config.Config, m []int) (float64, error) {
+	return reachSubtree(t, c, m, t.Root())
+}
+
+func reachSubtree(t *mrt.Tree, c *config.Config, m []int, v topology.NodeID) (float64, error) {
+	r := 1.0
+	for _, child := range t.Children(v) {
+		lam, err := c.Lambda(v, child)
+		if err != nil {
+			return 0, err
+		}
+		sub, err := reachSubtree(t, c, m, child)
+		if err != nil {
+			return 0, err
+		}
+		r *= edgeTerm(lam, m[t.EdgeOf(child)]) * sub
+	}
+	return r, nil
+}
+
+// AnalyticTwoPath reproduces the closed forms of Appendix A for the
+// two-path example of the introduction: a typical gossip algorithm that
+// splits k0 messages across a path with loss L and a path with loss αL
+// reaches the destination with probability 1-(√α·L)^k0, while the adapted
+// algorithm reaches it with probability 1-L^k1 using only the better path.
+// It returns the message ratio k1/k0 = 0.5·log_L(α) + 1 at equal
+// reliability — the curve of Figure 1.
+func AnalyticTwoPath(l, alpha float64) float64 {
+	return 0.5*math.Log(alpha)/math.Log(l) + 1
+}
+
+// TwoPathGossipReach is the typical-gossip reach probability of Appendix A
+// after k0 messages alternate over the two paths: 1 - (√α·L)^k0.
+func TwoPathGossipReach(l, alpha float64, k0 int) float64 {
+	return 1 - math.Pow(math.Sqrt(alpha)*l, float64(k0))
+}
+
+// TwoPathAdaptiveReach is the adapted-algorithm reach probability of
+// Appendix A after k1 messages over the more reliable path: 1 - L^k1.
+func TwoPathAdaptiveReach(l float64, k1 int) float64 {
+	return 1 - math.Pow(l, float64(k1))
+}

@@ -1,0 +1,120 @@
+// Package sim is the deterministic discrete-event simulator the
+// experiments run on. It reproduces the paper's probabilistic model
+// (Section 2.1): processes execute steps and are crashed during a step
+// with probability P_i; links lose each transmitted message with
+// probability L_x. A message sent from u to v over link l is therefore
+// received and processed with probability (1-P_u)(1-L_l)(1-P_v) — exactly
+// the per-edge reliability the MRT maximizes and the reach function
+// integrates.
+//
+// The engine is single-threaded and fully deterministic for a given seed:
+// events at equal virtual times fire in scheduling order, and all
+// randomness flows from one seeded source. Every experiment in the paper
+// reproduction is therefore replayable.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual simulation time. The unit is arbitrary; the experiments
+// treat it as seconds (heartbeats default to one per unit, matching the
+// paper's "if heartbeats are sent each 1 second" reading of Figure 5).
+type Time float64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now  Time
+	seq  uint64
+	pq   eventHeap
+	rng  *rand.Rand
+	halt bool
+}
+
+// NewEngine returns an engine whose randomness is derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's random source. All simulated randomness must
+// come from here to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// treated as zero (fires after already-pending events at the current
+// time).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Step fires the next event, advancing virtual time. It returns false if
+// no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain or Halt is called.
+func (e *Engine) Run() {
+	e.halt = false
+	for !e.halt && e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t and then sets the clock to t.
+// Events scheduled beyond t stay pending.
+func (e *Engine) RunUntil(t Time) {
+	e.halt = false
+	for !e.halt && len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if !e.halt && e.now < t {
+		e.now = t
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events
+// remain scheduled.
+func (e *Engine) Halt() { e.halt = true }

@@ -1,0 +1,74 @@
+package sim
+
+import "adaptivecast/internal/topology"
+
+// Stats accumulates the message counters the paper's figures report:
+// totals per kind, per-link sends (Figures 5 and 6 are "messages / link"),
+// byte volume, and loss/delivery counts.
+type Stats struct {
+	sentByKind  map[Kind]int
+	bytesByKind map[Kind]int
+	sentPerLink []int
+	lostPerLink []int
+	delivered   int
+	totalSent   int
+}
+
+func newStats(g *topology.Graph) Stats {
+	return Stats{
+		sentByKind:  make(map[Kind]int),
+		bytesByKind: make(map[Kind]int),
+		sentPerLink: make([]int, g.NumLinks()),
+		lostPerLink: make([]int, g.NumLinks()),
+	}
+}
+
+func (s *Stats) recordSend(linkIdx int, msg Message) {
+	s.sentByKind[msg.Kind]++
+	s.bytesByKind[msg.Kind] += msg.Size
+	s.sentPerLink[linkIdx]++
+	s.totalSent++
+}
+
+func (s *Stats) recordLoss(linkIdx int)    { s.lostPerLink[linkIdx]++ }
+func (s *Stats) recordDeliver(linkIdx int) { s.delivered++ }
+
+// TotalSent returns the number of messages sent across all kinds.
+func (s *Stats) TotalSent() int { return s.totalSent }
+
+// Sent returns the number of messages of one kind sent.
+func (s *Stats) Sent(kind Kind) int { return s.sentByKind[kind] }
+
+// SentBytes returns the simulated byte volume of one kind.
+func (s *Stats) SentBytes(kind Kind) int { return s.bytesByKind[kind] }
+
+// SentOnLink returns the sends (both directions) over the link with the
+// given dense index.
+func (s *Stats) SentOnLink(linkIdx int) int { return s.sentPerLink[linkIdx] }
+
+// LostOnLink returns how many transmissions the link dropped.
+func (s *Stats) LostOnLink(linkIdx int) int { return s.lostPerLink[linkIdx] }
+
+// Delivered returns how many messages reached a registered handler.
+func (s *Stats) Delivered() int { return s.delivered }
+
+// MeanSentPerLink returns TotalSent divided by the link count — the
+// "messages / link" metric of Figures 5 and 6.
+func (s *Stats) MeanSentPerLink() float64 {
+	if len(s.sentPerLink) == 0 {
+		return 0
+	}
+	return float64(s.totalSent) / float64(len(s.sentPerLink))
+}
+
+// Reset zeroes all counters, keeping the link dimension.
+func (s *Stats) Reset() {
+	s.sentByKind = make(map[Kind]int)
+	s.bytesByKind = make(map[Kind]int)
+	for i := range s.sentPerLink {
+		s.sentPerLink[i] = 0
+		s.lostPerLink[i] = 0
+	}
+	s.delivered = 0
+	s.totalSent = 0
+}

@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns the minimal-connectivity topology used by the paper's
+// evaluation: each process is connected to exactly two neighbors,
+// p_i — p_{(i+1) mod n}. n must be at least 3.
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs n >= 3, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if _, err := g.AddLink(NodeID(i), NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Line returns a path topology p_0 — p_1 — ... — p_{n-1}.
+func Line(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: line needs n >= 2, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		if _, err := g.AddLink(NodeID(i), NodeID(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star returns a hub-and-spoke topology with node 0 as the hub.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs n >= 2, got %d", n)
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if _, err := g.AddLink(0, NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Complete returns the fully connected topology over n processes.
+func Complete(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: complete graph needs n >= 2, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if _, err := g.AddLink(NodeID(i), NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomTree returns a uniformly random recursive tree: node i (i >= 1)
+// attaches to a uniformly chosen node in [0, i). This is the "random tree"
+// topology from the paper's scalability experiment (Figure 6); such trees
+// have logarithmic expected diameter, which is what gives the adaptive
+// protocol its near-constant convergence time as n grows.
+func RandomTree(n int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: random tree needs n >= 2, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: random tree needs a non-nil rng")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		parent := NodeID(rng.Intn(i))
+		if _, err := g.AddLink(parent, NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RandomConnected returns a connected random graph over n processes with
+// average connectivity close to "links per process" k (so roughly n*k/2
+// links total), mirroring the paper's "connectivity was increased until
+// each process had 20 neighbors" setup. It first builds a random spanning
+// tree to guarantee connectivity and then adds uniformly random extra links
+// until the target link count is reached.
+//
+// k must satisfy 2 <= k <= n-1 (k == 2 approximates the ring-level minimal
+// connectivity; the result is a tree plus a few chords for small k).
+func RandomConnected(n, k int, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: random connected graph needs n >= 3, got %d", n)
+	}
+	if k < 2 || k > n-1 {
+		return nil, fmt.Errorf("topology: connectivity k=%d out of range [2, %d]", k, n-1)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: random connected graph needs a non-nil rng")
+	}
+	target := n * k / 2
+	maxLinks := n * (n - 1) / 2
+	if target > maxLinks {
+		target = maxLinks
+	}
+	g := New(n)
+	// Random spanning tree over a shuffled node order keeps the tree
+	// unbiased with respect to node IDs.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := NodeID(perm[i])
+		b := NodeID(perm[rng.Intn(i)])
+		if _, err := g.AddLink(a, b); err != nil {
+			return nil, err
+		}
+	}
+	for g.NumLinks() < target {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b || g.HasLink(a, b) {
+			continue
+		}
+		if _, err := g.AddLink(a, b); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows x cols lattice with 4-neighborhood connectivity.
+// Node IDs are assigned row-major.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: grid %dx%d too small", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if _, err := g.AddLink(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if _, err := g.AddLink(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Clustered returns a "WAN" topology: `clusters` complete clusters of
+// `size` nodes each, chained by `bridges` parallel inter-cluster links
+// between consecutive clusters. It models the paper's motivating setting
+// where LAN links are plentiful and reliable while WAN paths are scarce
+// and lossy; the examples attach higher loss to the bridge links.
+// BridgeLinks reports which link indices are inter-cluster bridges.
+func Clustered(clusters, size, bridges int) (*Graph, []int, error) {
+	if clusters < 2 || size < 2 {
+		return nil, nil, fmt.Errorf("topology: clustered needs >= 2 clusters of >= 2 nodes, got %dx%d", clusters, size)
+	}
+	if bridges < 1 || bridges > size {
+		return nil, nil, fmt.Errorf("topology: bridges=%d out of range [1, %d]", bridges, size)
+	}
+	g := New(clusters * size)
+	var bridgeIdx []int
+	base := func(c int) int { return c * size }
+	for c := 0; c < clusters; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if _, err := g.AddLink(NodeID(base(c)+i), NodeID(base(c)+j)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	for c := 0; c+1 < clusters; c++ {
+		for b := 0; b < bridges; b++ {
+			idx, err := g.AddLink(NodeID(base(c)+b), NodeID(base(c+1)+b))
+			if err != nil {
+				return nil, nil, err
+			}
+			bridgeIdx = append(bridgeIdx, idx)
+		}
+	}
+	return g, bridgeIdx, nil
+}
+
+// TwoPaths returns the two-node, two-path topology from the paper's
+// introduction and Appendix A: a source and a destination connected by two
+// independent relay paths. Node 0 is the source, node 1 the destination,
+// node 2 the relay on path one and node 3 the relay on path two.
+func TwoPaths() *Graph {
+	g := New(4)
+	mustLink := func(a, b NodeID) {
+		if _, err := g.AddLink(a, b); err != nil {
+			panic("topology: two-paths: " + err.Error())
+		}
+	}
+	mustLink(0, 2)
+	mustLink(2, 1)
+	mustLink(0, 3)
+	mustLink(3, 1)
+	return g
+}

@@ -1,0 +1,237 @@
+// Package topology models the system graph G = (Π, Λ) from the paper:
+// a set of processes Π connected by bidirectional, lossy communication
+// links Λ. It also provides the standard generators used by the paper's
+// evaluation (ring, random tree, k-neighbor random graphs) plus a few
+// extras (star, grid, clustered WAN) used by the examples and ablations.
+//
+// Links are undirected and canonicalized so that Link{A, B} always has
+// A < B; every link also gets a dense index in [0, NumLinks) so that
+// per-link state can live in slices instead of maps on hot paths.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a process p_i in Π. IDs are dense in [0, n).
+type NodeID int
+
+// None is the NodeID sentinel for "no node" (for example the parent of a
+// tree root).
+const None NodeID = -1
+
+// Link is an undirected communication link l_{a,b} in Λ, canonicalized so
+// that A < B.
+type Link struct {
+	A, B NodeID
+}
+
+// NewLink returns the canonical form of the link between a and b.
+func NewLink(a, b NodeID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+// Other returns the endpoint of l that is not id. It returns None if id is
+// not an endpoint of l.
+func (l Link) Other(id NodeID) NodeID {
+	switch id {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		return None
+	}
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("l(%d,%d)", l.A, l.B)
+}
+
+// Graph is the system topology G = (Π, Λ). The zero value is an empty
+// graph; use New to create a graph with a fixed process set.
+type Graph struct {
+	n         int
+	links     []Link
+	linkIndex map[Link]int
+	adj       [][]NodeID // adj[i] = sorted neighbor IDs of node i
+	adjLink   [][]int    // adjLink[i][k] = link index of the link to adj[i][k]
+}
+
+// New returns an empty graph over n processes (no links).
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:         n,
+		linkIndex: make(map[Link]int),
+		adj:       make([][]NodeID, n),
+		adjLink:   make([][]int, n),
+	}
+}
+
+// NumNodes returns |Π|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumLinks returns |Λ|.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Links returns the link set in index order. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Links() []Link { return g.links }
+
+// Link returns the link with the given dense index.
+func (g *Graph) Link(idx int) Link { return g.links[idx] }
+
+// AddLink inserts the undirected link between a and b and returns its dense
+// index. Adding an existing link returns the existing index. Self-loops and
+// out-of-range endpoints are rejected.
+func (g *Graph) AddLink(a, b NodeID) (int, error) {
+	if a == b {
+		return -1, fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	if !g.valid(a) || !g.valid(b) {
+		return -1, fmt.Errorf("topology: link (%d,%d) out of range [0,%d)", a, b, g.n)
+	}
+	l := NewLink(a, b)
+	if idx, ok := g.linkIndex[l]; ok {
+		return idx, nil
+	}
+	idx := len(g.links)
+	g.links = append(g.links, l)
+	g.linkIndex[l] = idx
+	g.insertNeighbor(a, b, idx)
+	g.insertNeighbor(b, a, idx)
+	return idx, nil
+}
+
+// insertNeighbor keeps adjacency lists sorted by neighbor ID so that
+// iteration order (and therefore every algorithm built on it) is
+// deterministic.
+func (g *Graph) insertNeighbor(at, nb NodeID, linkIdx int) {
+	pos := sort.Search(len(g.adj[at]), func(i int) bool { return g.adj[at][i] >= nb })
+	g.adj[at] = append(g.adj[at], 0)
+	copy(g.adj[at][pos+1:], g.adj[at][pos:])
+	g.adj[at][pos] = nb
+	g.adjLink[at] = append(g.adjLink[at], 0)
+	copy(g.adjLink[at][pos+1:], g.adjLink[at][pos:])
+	g.adjLink[at][pos] = linkIdx
+}
+
+// HasLink reports whether a and b are directly connected.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	_, ok := g.linkIndex[NewLink(a, b)]
+	return ok
+}
+
+// LinkIndex returns the dense index of the link between a and b, or -1 if
+// the link does not exist.
+func (g *Graph) LinkIndex(a, b NodeID) int {
+	idx, ok := g.linkIndex[NewLink(a, b)]
+	if !ok {
+		return -1
+	}
+	return idx
+}
+
+// Neighbors returns the sorted neighbor set of id. The returned slice is
+// shared; callers must not modify it.
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+
+// NeighborLinks returns, aligned with Neighbors(id), the dense link index
+// of each incident link. The returned slice is shared; callers must not
+// modify it.
+func (g *Graph) NeighborLinks(id NodeID) []int { return g.adjLink[id] }
+
+// Degree returns the number of neighbors of id.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < g.n }
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, l := range g.links {
+		if _, err := c.AddLink(l.A, l.B); err != nil {
+			// Links in g were validated on insertion; re-adding them
+			// cannot fail.
+			panic("topology: clone: " + err.Error())
+		}
+	}
+	return c
+}
+
+// Connected reports whether every process can reach every other process.
+// The empty graph and the single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Distances returns the hop distance from src to every node (-1 if
+// unreachable) via breadth-first search.
+func (g *Graph) Distances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.valid(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest shortest-path distance between any two
+// nodes, or -1 if the graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	max := 0
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.Distances(NodeID(v)) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

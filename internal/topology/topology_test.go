@@ -1,0 +1,370 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinkCanonical(t *testing.T) {
+	l1 := NewLink(3, 7)
+	l2 := NewLink(7, 3)
+	if l1 != l2 {
+		t.Fatalf("NewLink not canonical: %v vs %v", l1, l2)
+	}
+	if l1.A != 3 || l1.B != 7 {
+		t.Fatalf("NewLink(3,7) = %v, want A=3 B=7", l1)
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := NewLink(2, 5)
+	if got := l.Other(2); got != 5 {
+		t.Errorf("Other(2) = %d, want 5", got)
+	}
+	if got := l.Other(5); got != 2 {
+		t.Errorf("Other(5) = %d, want 2", got)
+	}
+	if got := l.Other(9); got != None {
+		t.Errorf("Other(9) = %d, want None", got)
+	}
+}
+
+func TestAddLinkRejectsSelfLoop(t *testing.T) {
+	g := New(4)
+	if _, err := g.AddLink(1, 1); err == nil {
+		t.Fatal("expected error for self-loop")
+	}
+}
+
+func TestAddLinkRejectsOutOfRange(t *testing.T) {
+	g := New(4)
+	for _, pair := range [][2]NodeID{{-1, 0}, {0, 4}, {5, 6}} {
+		if _, err := g.AddLink(pair[0], pair[1]); err == nil {
+			t.Errorf("expected error for link %v", pair)
+		}
+	}
+}
+
+func TestAddLinkIdempotent(t *testing.T) {
+	g := New(4)
+	i1, err := g.AddLink(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := g.AddLink(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Fatalf("duplicate link got different indices: %d vs %d", i1, i2)
+	}
+	if g.NumLinks() != 1 {
+		t.Fatalf("NumLinks = %d, want 1", g.NumLinks())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees = %d,%d, want 1,1", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestNeighborsSortedAndAligned(t *testing.T) {
+	g := New(5)
+	// Insert in non-sorted order on purpose.
+	for _, pair := range [][2]NodeID{{2, 4}, {2, 0}, {2, 3}, {2, 1}} {
+		if _, err := g.AddLink(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nbs := g.Neighbors(2)
+	want := []NodeID{0, 1, 3, 4}
+	if len(nbs) != len(want) {
+		t.Fatalf("neighbors = %v, want %v", nbs, want)
+	}
+	for i := range want {
+		if nbs[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", nbs, want)
+		}
+	}
+	for i, nb := range nbs {
+		idx := g.NeighborLinks(2)[i]
+		if g.Link(idx) != NewLink(2, nb) {
+			t.Errorf("NeighborLinks misaligned at %d: link %v for neighbor %d", i, g.Link(idx), nb)
+		}
+	}
+}
+
+func TestLinkIndexLookup(t *testing.T) {
+	g := New(3)
+	idx, err := g.AddLink(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.LinkIndex(2, 0); got != idx {
+		t.Errorf("LinkIndex(2,0) = %d, want %d", got, idx)
+	}
+	if got := g.LinkIndex(0, 1); got != -1 {
+		t.Errorf("LinkIndex(0,1) = %d, want -1", got)
+	}
+	if !g.HasLink(2, 0) || g.HasLink(1, 2) {
+		t.Error("HasLink gave wrong answers")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 2, 3)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	mustAdd(t, g, 1, 2)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	if !New(1).Connected() || !New(0).Connected() {
+		t.Error("trivial graphs should be connected")
+	}
+	if New(2).Connected() {
+		t.Error("two isolated nodes reported connected")
+	}
+}
+
+func TestDistancesAndDiameter(t *testing.T) {
+	g, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Distances(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if got := g.Diameter(); got != 4 {
+		t.Errorf("Diameter = %d, want 4", got)
+	}
+
+	ring, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Diameter(); got != 3 {
+		t.Errorf("ring(6) diameter = %d, want 3", got)
+	}
+
+	disc := New(3)
+	mustAdd(t, disc, 0, 1)
+	if got := disc.Diameter(); got != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", got)
+	}
+	if got := disc.Distances(0)[2]; got != -1 {
+		t.Errorf("unreachable distance = %d, want -1", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, err := Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() || c.NumLinks() != g.NumLinks() {
+		t.Fatal("clone shape mismatch")
+	}
+	mustAdd(t, c, 0, 2)
+	if g.HasLink(0, 2) {
+		t.Error("mutating the clone leaked into the original")
+	}
+}
+
+func TestRingGenerator(t *testing.T) {
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) should fail")
+	}
+	g, err := Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 10 {
+		t.Errorf("ring(10) links = %d, want 10", g.NumLinks())
+	}
+	for i := 0; i < 10; i++ {
+		if g.Degree(NodeID(i)) != 2 {
+			t.Errorf("ring degree of %d = %d, want 2", i, g.Degree(NodeID(i)))
+		}
+	}
+	if !g.Connected() {
+		t.Error("ring disconnected")
+	}
+}
+
+func TestStarGenerator(t *testing.T) {
+	g, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 5 {
+		t.Errorf("hub degree = %d, want 5", g.Degree(0))
+	}
+	for i := 1; i < 6; i++ {
+		if g.Degree(NodeID(i)) != 1 {
+			t.Errorf("spoke %d degree = %d, want 1", i, g.Degree(NodeID(i)))
+		}
+	}
+}
+
+func TestCompleteGenerator(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 10 {
+		t.Errorf("K5 links = %d, want 10", g.NumLinks())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("K5 diameter = %d, want 1", g.Diameter())
+	}
+}
+
+func TestRandomTreeGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 40; n += 7 {
+		g, err := RandomTree(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumLinks() != n-1 {
+			t.Errorf("tree(%d) links = %d, want %d", n, g.NumLinks(), n-1)
+		}
+		if !g.Connected() {
+			t.Errorf("tree(%d) disconnected", n)
+		}
+	}
+	if _, err := RandomTree(5, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestRandomConnectedGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{2, 4, 8, 16} {
+		g, err := RandomConnected(50, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Errorf("k=%d graph disconnected", k)
+		}
+		want := 50 * k / 2
+		if g.NumLinks() < want-1 || g.NumLinks() > want {
+			t.Errorf("k=%d links = %d, want ≈%d", k, g.NumLinks(), want)
+		}
+	}
+	if _, err := RandomConnected(10, 1, rng); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := RandomConnected(10, 10, rng); err == nil {
+		t.Error("k=n should fail")
+	}
+}
+
+func TestGridGenerator(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d, want 12", g.NumNodes())
+	}
+	// 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumLinks() != 17 {
+		t.Errorf("grid links = %d, want 17", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("corner degree = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestClusteredGenerator(t *testing.T) {
+	g, bridges, err := Clustered(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("clustered nodes = %d, want 12", g.NumNodes())
+	}
+	// 3 clusters × C(4,2)=6 intra + 2 gaps × 2 bridges = 18 + 4 = 22.
+	if g.NumLinks() != 22 {
+		t.Errorf("clustered links = %d, want 22", g.NumLinks())
+	}
+	if len(bridges) != 4 {
+		t.Errorf("bridge count = %d, want 4", len(bridges))
+	}
+	for _, b := range bridges {
+		l := g.Link(b)
+		if l.A/4 == l.B/4 {
+			t.Errorf("bridge %v is intra-cluster", l)
+		}
+	}
+	if !g.Connected() {
+		t.Error("clustered disconnected")
+	}
+}
+
+func TestTwoPaths(t *testing.T) {
+	g := TwoPaths()
+	if g.NumNodes() != 4 || g.NumLinks() != 4 {
+		t.Fatalf("two-paths shape = (%d,%d), want (4,4)", g.NumNodes(), g.NumLinks())
+	}
+	if g.HasLink(0, 1) {
+		t.Error("source and destination must not be directly connected")
+	}
+	d := g.Distances(0)
+	if d[1] != 2 {
+		t.Errorf("source→destination distance = %d, want 2", d[1])
+	}
+}
+
+// Property: RandomConnected is always connected and respects the target
+// link count for arbitrary (n, k, seed).
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := 3 + int(nRaw)%60
+		k := 2 + int(kRaw)%(n-2)
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomConnected(n, k, rng)
+		if err != nil {
+			return false
+		}
+		return g.Connected() && g.NumLinks() >= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated tree has n-1 links and is connected, which
+// together imply it is acyclic.
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%80
+		g, err := RandomTree(n, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return g.NumLinks() == n-1 && g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, a, b NodeID) {
+	t.Helper()
+	if _, err := g.AddLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+}

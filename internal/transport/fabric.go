@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adaptivecast/internal/topology"
+)
+
+// FabricOptions tunes the in-process transport.
+type FabricOptions struct {
+	// Seed drives the loss sampling; 0 uses 1 (keep runs reproducible).
+	Seed int64
+	// Latency delays every delivery (0 = immediate).
+	Latency time.Duration
+	// QueueSize is each endpoint's inbound buffer (default 1024). When a
+	// queue is full the frame is dropped — the model tolerates loss by
+	// construction, and the drop is counted in Stats.
+	QueueSize int
+}
+
+func (o FabricOptions) withDefaults() FabricOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.QueueSize == 0 {
+		o.QueueSize = 1024
+	}
+	return o
+}
+
+// FabricStats counts fabric-level events.
+type FabricStats struct {
+	Sent      int
+	Lost      int // dropped by injected loss
+	Overflows int // dropped because a receive queue was full
+}
+
+// Fabric is an in-process "network": it owns one endpoint per node and
+// applies injectable per-link loss probabilities, giving the live node
+// stack the same probabilistic environment the simulator models.
+type Fabric struct {
+	mu        sync.Mutex
+	opts      FabricOptions
+	rng       *rand.Rand
+	endpoints map[topology.NodeID]*fabricEndpoint
+	loss      map[topology.Link]float64
+	stats     FabricStats
+	closed    bool
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric(opts FabricOptions) *Fabric {
+	opts = opts.withDefaults()
+	return &Fabric{
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		endpoints: make(map[topology.NodeID]*fabricEndpoint),
+		loss:      make(map[topology.Link]float64),
+	}
+}
+
+// SetLoss injects a loss probability for the (undirected) link a—b.
+func (f *Fabric) SetLoss(a, b topology.NodeID, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("transport: loss %v outside [0,1]", p)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loss[topology.NewLink(a, b)] = p
+	return nil
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() FabricStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Endpoint returns (creating on first use) the transport endpoint for id.
+func (f *Fabric) Endpoint(id topology.NodeID) Transport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep, ok := f.endpoints[id]; ok {
+		return ep
+	}
+	ep := &fabricEndpoint{
+		fabric: f,
+		id:     id,
+		queue:  make(chan inboundFrame, f.opts.QueueSize),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go ep.receiveLoop()
+	f.endpoints[id] = ep
+	return ep
+}
+
+// Close shuts down every endpoint.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	eps := make([]*fabricEndpoint, 0, len(f.endpoints))
+	for _, ep := range f.endpoints {
+		eps = append(eps, ep)
+	}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route samples loss and hands the frame to the destination queue.
+func (f *Fabric) route(from, to topology.NodeID, frame []byte) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("transport: fabric closed")
+	}
+	dst, ok := f.endpoints[to]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("transport: unknown peer %d", to)
+	}
+	f.stats.Sent++
+	if p := f.loss[topology.NewLink(from, to)]; p > 0 && f.rng.Float64() < p {
+		f.stats.Lost++
+		f.mu.Unlock()
+		return nil
+	}
+	f.mu.Unlock()
+
+	// Copy: the sender may reuse its buffer after Send returns.
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	deliver := func() {
+		select {
+		case dst.queue <- inboundFrame{from: from, frame: cp}:
+		case <-dst.stop:
+		default:
+			f.mu.Lock()
+			f.stats.Overflows++
+			f.mu.Unlock()
+		}
+	}
+	if f.opts.Latency > 0 {
+		time.AfterFunc(f.opts.Latency, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+type inboundFrame struct {
+	from  topology.NodeID
+	frame []byte
+}
+
+// fabricEndpoint is one node's attachment to the fabric.
+type fabricEndpoint struct {
+	fabric *Fabric
+	id     topology.NodeID
+
+	handlerMu sync.RWMutex
+	handler   Handler
+
+	queue     chan inboundFrame
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ Transport = (*fabricEndpoint)(nil)
+
+// Local implements Transport.
+func (ep *fabricEndpoint) Local() topology.NodeID { return ep.id }
+
+// SetHandler implements Transport.
+func (ep *fabricEndpoint) SetHandler(h Handler) {
+	ep.handlerMu.Lock()
+	defer ep.handlerMu.Unlock()
+	ep.handler = h
+}
+
+// Send implements Transport.
+func (ep *fabricEndpoint) Send(to topology.NodeID, frame []byte) error {
+	select {
+	case <-ep.stop:
+		return errors.New("transport: endpoint closed")
+	default:
+	}
+	return ep.fabric.route(ep.id, to, frame)
+}
+
+// Close implements Transport.
+func (ep *fabricEndpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		close(ep.stop)
+		<-ep.done
+	})
+	return nil
+}
+
+// receiveLoop serializes handler invocations for this endpoint.
+func (ep *fabricEndpoint) receiveLoop() {
+	defer close(ep.done)
+	for {
+		select {
+		case in := <-ep.queue:
+			ep.handlerMu.RLock()
+			h := ep.handler
+			ep.handlerMu.RUnlock()
+			if h != nil {
+				h(in.from, in.frame)
+			}
+		case <-ep.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"adaptivecast/internal/topology"
+)
+
+const (
+	// tcpMagic guards against cross-protocol connections.
+	tcpMagic = 0xADCA57
+	// maxFrameSize bounds a single frame (heartbeats carry full knowledge
+	// snapshots, which grow with the system; 64 MiB is far above any
+	// realistic view).
+	maxFrameSize = 64 << 20
+)
+
+// TCPOptions tunes the TCP transport.
+type TCPOptions struct {
+	// DialTimeout bounds outbound connection establishment (default 5s).
+	DialTimeout time.Duration
+	// QueueSize is the inbound dispatch buffer (default 1024).
+	QueueSize int
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.QueueSize == 0 {
+		o.QueueSize = 1024
+	}
+	return o
+}
+
+// TCP is a Transport over real sockets: length-prefixed frames preceded by
+// a one-time hello identifying the sender. Connections are dialed on
+// demand and cached; inbound frames from all connections are serialized
+// through one dispatch goroutine so the node sees ordered input.
+type TCP struct {
+	local    topology.NodeID
+	opts     TCPOptions
+	listener net.Listener
+
+	handlerMu sync.RWMutex
+	handler   Handler
+
+	mu      sync.Mutex
+	peers   map[topology.NodeID]string   // static address book
+	conns   map[topology.NodeID]*tcpConn // outbound connection cache
+	inConns map[net.Conn]struct{}        // accepted connections (closed on shutdown)
+	closed  bool
+
+	inbound chan inboundFrame
+	stop    chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// tcpConn wraps an outbound connection with a write lock.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP starts a TCP transport for node `local`, listening on listenAddr
+// and able to reach the peers in the address book (peer ID → host:port).
+func NewTCP(local topology.NodeID, listenAddr string, peers map[topology.NodeID]string, opts TCPOptions) (*TCP, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		local:    local,
+		opts:     opts,
+		listener: ln,
+		peers:    make(map[topology.NodeID]string, len(peers)),
+		conns:    make(map[topology.NodeID]*tcpConn),
+		inConns:  make(map[net.Conn]struct{}),
+		inbound:  make(chan inboundFrame, opts.QueueSize),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for id, addr := range peers {
+		t.peers[id] = addr
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	go t.dispatchLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() net.Addr { return t.listener.Addr() }
+
+// AddPeer extends the address book at runtime.
+func (t *TCP) AddPeer(id topology.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Local implements Transport.
+func (t *TCP) Local() topology.NodeID { return t.local }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.handlerMu.Lock()
+	defer t.handlerMu.Unlock()
+	t.handler = h
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to topology.NodeID, frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	conn, err := t.connTo(to)
+	if err != nil {
+		return err
+	}
+	header := make([]byte, 4)
+	binary.BigEndian.PutUint32(header, uint32(len(frame)))
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.c.Write(header); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("transport: write to %d: %w", to, err)
+	}
+	if _, err := conn.c.Write(frame); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("transport: write to %d: %w", to, err)
+	}
+	return nil
+}
+
+// connTo returns a cached connection or dials one, sending the hello.
+func (t *TCP) connTo(to topology.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("transport: closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %d", to)
+	}
+
+	raw, err := net.DialTimeout("tcp", addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
+	}
+	hello := make([]byte, 12)
+	binary.BigEndian.PutUint32(hello[0:4], tcpMagic)
+	binary.BigEndian.PutUint64(hello[4:12], uint64(int64(t.local)))
+	if _, err := raw.Write(hello); err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("transport: hello to %d: %w", to, err)
+	}
+
+	conn := &tcpConn{c: raw}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = raw.Close()
+		return nil, errors.New("transport: closed")
+	}
+	if existing, ok := t.conns[to]; ok {
+		_ = raw.Close() // lost the race; use the winner
+		return existing, nil
+	}
+	t.conns[to] = conn
+	return conn, nil
+}
+
+// dropConn evicts a broken cached connection.
+func (t *TCP) dropConn(to topology.NodeID, conn *tcpConn) {
+	_ = conn.c.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inConns))
+	for _, c := range t.conns {
+		conns = append(conns, c.c)
+	}
+	for c := range t.inConns {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[topology.NodeID]*tcpConn)
+	t.inConns = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	close(t.stop)
+	_ = t.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	<-t.done
+	return nil
+}
+
+// acceptLoop accepts inbound connections and spawns a reader per
+// connection.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inConns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop validates the hello and streams frames into the dispatcher.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inConns, conn)
+		t.mu.Unlock()
+	}()
+
+	hello := make([]byte, 12)
+	if _, err := io.ReadFull(conn, hello); err != nil {
+		return
+	}
+	if binary.BigEndian.Uint32(hello[0:4]) != tcpMagic {
+		return
+	}
+	from := topology.NodeID(int64(binary.BigEndian.Uint64(hello[4:12])))
+
+	header := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header)
+		if size > maxFrameSize {
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		select {
+		case t.inbound <- inboundFrame{from: from, frame: frame}:
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// dispatchLoop serializes handler invocations.
+func (t *TCP) dispatchLoop() {
+	defer close(t.done)
+	for {
+		select {
+		case in := <-t.inbound:
+			t.handlerMu.RLock()
+			h := t.handler
+			t.handlerMu.RUnlock()
+			if h != nil {
+				h(in.from, in.frame)
+			}
+		case <-t.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package transport abstracts frame delivery between live nodes. Two
+// implementations ship with the library:
+//
+//   - Fabric / endpoint: an in-process transport with injectable per-link
+//     loss and latency, used by the examples and integration tests to run
+//     whole clusters of goroutine nodes in one process;
+//   - TCP: a length-prefixed frame protocol over the standard library's
+//     net package, for running nodes across real machines.
+//
+// Transports deliver opaque byte frames; the wire package handles
+// encoding. Handlers are invoked on the transport's receive goroutine, one
+// frame at a time per node, so node state machines see serialized input.
+package transport
+
+import "adaptivecast/internal/topology"
+
+// Handler consumes one inbound frame. Implementations must not retain the
+// frame slice after returning.
+type Handler func(from topology.NodeID, frame []byte)
+
+// Transport sends frames to peers and feeds inbound frames to a handler.
+type Transport interface {
+	// Local returns the node ID this endpoint speaks for.
+	Local() topology.NodeID
+	// SetHandler installs the inbound frame consumer. It must be called
+	// before the first Send and at most once.
+	SetHandler(h Handler)
+	// Send transmits a frame. Sends are best-effort: probabilistic
+	// transports may drop frames silently — that is the failure model the
+	// protocol is built for — but structural failures (unknown peer,
+	// closed transport) return an error.
+	Send(to topology.NodeID, frame []byte) error
+	// Close releases resources and stops the receive loop. It is
+	// idempotent; after Close, Send fails and no handler runs.
+	Close() error
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivecast/internal/topology"
+)
+
+// collector gathers frames thread-safely.
+type collector struct {
+	mu     sync.Mutex
+	frames []string
+	froms  []topology.NodeID
+	notify chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{notify: make(chan struct{}, 1024)}
+}
+
+func (c *collector) handler(from topology.NodeID, frame []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, string(frame))
+	c.froms = append(c.froms, from)
+	c.mu.Unlock()
+	c.notify <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.notify:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d frames (got %d)", n, i)
+		}
+	}
+}
+
+func (c *collector) snapshot() ([]string, []topology.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.frames...), append([]topology.NodeID(nil), c.froms...)
+}
+
+func TestFabricDelivery(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	if a.Local() != 0 || b.Local() != 1 {
+		t.Fatal("Local() wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.wait(t, 5)
+	frames, froms := col.snapshot()
+	for i, fr := range frames {
+		if fr != fmt.Sprintf("m%d", i) {
+			t.Errorf("frame %d = %q (ordering broken?)", i, fr)
+		}
+		if froms[i] != 0 {
+			t.Errorf("from = %d, want 0", froms[i])
+		}
+	}
+	if s := f.Stats(); s.Sent != 5 || s.Lost != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFabricSenderBufferReuse(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	buf := []byte("first")
+	if err := a.Send(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXX") // sender reuses its buffer immediately
+	col.wait(t, 1)
+	frames, _ := col.snapshot()
+	if frames[0] != "first" {
+		t.Errorf("frame corrupted by sender buffer reuse: %q", frames[0])
+	}
+}
+
+func TestFabricUnknownPeer(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	if err := a.Send(9, []byte("x")); err == nil {
+		t.Error("send to unknown peer should fail")
+	}
+}
+
+func TestFabricLossInjection(t *testing.T) {
+	f := NewFabric(FabricOptions{Seed: 42})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	if err := f.SetLoss(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetLoss(0, 1, 1.5); err == nil {
+		t.Error("invalid loss should fail")
+	}
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := a.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Sent != total {
+		t.Fatalf("sent = %d", s.Sent)
+	}
+	frac := float64(s.Lost) / total
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("loss fraction = %v, want ≈0.5", frac)
+	}
+	col.wait(t, total-s.Lost)
+}
+
+func TestFabricCloseStopsTraffic(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	a := f.Endpoint(0)
+	f.Endpoint(1)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("x")); err == nil {
+		t.Error("send after close should fail")
+	}
+	// Idempotent.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFabricLatency(t *testing.T) {
+	f := NewFabric(FabricOptions{Latency: 30 * time.Millisecond})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+	start := time.Now()
+	if err := a.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	serverCol := newCollector()
+	server, err := NewTCP(1, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	server.SetHandler(serverCol.handler)
+
+	client, err := NewTCP(0, "127.0.0.1:0", map[topology.NodeID]string{
+		1: server.Addr().String(),
+	}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	for i := 0; i < 10; i++ {
+		if err := client.Send(1, []byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serverCol.wait(t, 10)
+	frames, froms := serverCol.snapshot()
+	for i, fr := range frames {
+		if fr != fmt.Sprintf("frame-%d", i) {
+			t.Errorf("frame %d = %q", i, fr)
+		}
+		if froms[i] != 0 {
+			t.Errorf("from = %d, want 0", froms[i])
+		}
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	aCol, bCol := newCollector(), newCollector()
+	a, err := NewTCP(0, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	a.SetHandler(aCol.handler)
+
+	b, err := NewTCP(1, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	b.SetHandler(bCol.handler)
+
+	a.AddPeer(1, b.Addr().String())
+	b.AddPeer(0, a.Addr().String())
+
+	if err := a.Send(1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	bCol.wait(t, 1)
+	if err := b.Send(0, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	aCol.wait(t, 1)
+	aFrames, _ := aCol.snapshot()
+	bFrames, _ := bCol.snapshot()
+	if bFrames[0] != "ping" || aFrames[0] != "pong" {
+		t.Errorf("got %q / %q", bFrames[0], aFrames[0])
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := NewTCP(0, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := a.Send(7, []byte("x")); err == nil {
+		t.Error("unknown peer should fail")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := NewTCP(0, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCP(1, "127.0.0.1:0", map[topology.NodeID]string{0: a.Addr().String()}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(0, []byte("x")); err == nil {
+		t.Error("send after close should fail")
+	}
+	if err := b.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	_ = a.Close()
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	col := newCollector()
+	server, err := NewTCP(1, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	server.SetHandler(col.handler)
+	client, err := NewTCP(0, "127.0.0.1:0", map[topology.NodeID]string{1: server.Addr().String()}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	big := make([]byte, 1<<20) // 1 MiB, heartbeat-snapshot scale
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := client.Send(1, big); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	frames, _ := col.snapshot()
+	if len(frames[0]) != len(big) {
+		t.Fatalf("size = %d, want %d", len(frames[0]), len(big))
+	}
+	if frames[0] != string(big) {
+		t.Error("large frame corrupted")
+	}
+}

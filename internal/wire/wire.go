@@ -1,0 +1,107 @@
+// Package wire defines the frame encoding the live runtime puts on a
+// transport: heartbeat frames carrying knowledge snapshots (Algorithm 4's
+// (Λ_k, C_k) exchange) and data frames carrying a broadcast payload plus
+// the sender's MRT and per-edge allocation (Algorithm 1's (m, mrt_j)).
+//
+// Encoding is stdlib gob, self-contained per frame. The allocation is
+// keyed by child node (AllocByNode) rather than by edge index, so the
+// receiver may rebuild the tree in any deterministic order without
+// misaligning the counts.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+)
+
+// FrameKind discriminates frame payloads.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	FrameHeartbeat FrameKind = iota + 1
+	FrameData
+)
+
+// DataMsg is one reliable-broadcast data message.
+type DataMsg struct {
+	// Origin and Seq identify the broadcast (dedup key).
+	Origin topology.NodeID
+	Seq    uint64
+	// Root and Parents carry the sender's MRT; an empty Parents means the
+	// message was flooded (adaptive warm-up) and receivers re-flood.
+	Root    topology.NodeID
+	Parents []topology.NodeID
+	// AllocByNode[v] is the number of copies to push over the tree edge
+	// leading to v (0 for the root and for flooded messages).
+	AllocByNode []int32
+	// Body is the application payload.
+	Body []byte
+	// Piggyback optionally carries the immediate sender's knowledge
+	// snapshot (paper Section 4.1: estimates can ride on application
+	// traffic, saving heartbeat bandwidth). Forwarders replace it with
+	// their own snapshot so distortion accounting matches hop-by-hop
+	// propagation.
+	Piggyback *knowledge.Snapshot
+}
+
+// Frame is the unit put on a transport.
+type Frame struct {
+	Kind      FrameKind
+	Heartbeat *knowledge.Snapshot
+	Data      *DataMsg
+}
+
+// Encode serializes a frame.
+func Encode(f *Frame) ([]byte, error) {
+	if err := validate(f); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a frame.
+func Decode(b []byte) (*Frame, error) {
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := validate(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// validate enforces the kind/payload pairing in both directions, so a
+// malformed peer cannot feed nil payloads into the node.
+func validate(f *Frame) error {
+	if f == nil {
+		return errors.New("wire: nil frame")
+	}
+	switch f.Kind {
+	case FrameHeartbeat:
+		if f.Heartbeat == nil || f.Data != nil {
+			return errors.New("wire: heartbeat frame payload mismatch")
+		}
+	case FrameData:
+		if f.Data == nil || f.Heartbeat != nil {
+			return errors.New("wire: data frame payload mismatch")
+		}
+		if len(f.Data.Parents) > 0 && len(f.Data.AllocByNode) != len(f.Data.Parents) {
+			return fmt.Errorf("wire: allocation covers %d nodes, tree has %d",
+				len(f.Data.AllocByNode), len(f.Data.Parents))
+		}
+	default:
+		return fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"testing"
+
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+)
+
+func heartbeatSnapshot(t *testing.T) *knowledge.Snapshot {
+	t.Helper()
+	v, err := knowledge.NewView(1, 4, []topology.NodeID{0, 2}, nil, knowledge.Params{Intervals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.BeginPeriod()
+	return v.Snapshot()
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	snap := heartbeatSnapshot(t)
+	b, err := Encode(&Frame{Kind: FrameHeartbeat, Heartbeat: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameHeartbeat || f.Heartbeat == nil {
+		t.Fatal("frame shape lost")
+	}
+	if f.Heartbeat.From != 1 || f.Heartbeat.Seq != 1 {
+		t.Errorf("header lost: %+v", f.Heartbeat)
+	}
+	if len(f.Heartbeat.Procs) != len(snap.Procs) || len(f.Heartbeat.Links) != len(snap.Links) {
+		t.Errorf("payload lost: %d procs %d links", len(f.Heartbeat.Procs), len(f.Heartbeat.Links))
+	}
+	// The decoded snapshot merges cleanly into another view.
+	other, err := knowledge.NewView(0, 4, []topology.NodeID{1}, nil, knowledge.Params{Intervals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.MergeSnapshot(f.Heartbeat); err != nil {
+		t.Fatal(err)
+	}
+	if _, d := other.CrashEstimate(1); d != 1 {
+		t.Errorf("merged distortion = %d, want 1", d)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	msg := &DataMsg{
+		Origin:      2,
+		Seq:         7,
+		Root:        2,
+		Parents:     []topology.NodeID{2, 0, topology.None},
+		AllocByNode: []int32{3, 1, 0},
+		Body:        []byte("payload"),
+	}
+	b, err := Encode(&Frame{Kind: FrameData, Data: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Data
+	if got.Origin != 2 || got.Seq != 7 || got.Root != 2 || string(got.Body) != "payload" {
+		t.Errorf("data lost: %+v", got)
+	}
+	if len(got.Parents) != 3 || got.Parents[2] != topology.None {
+		t.Errorf("parents lost: %v", got.Parents)
+	}
+	if len(got.AllocByNode) != 3 || got.AllocByNode[0] != 3 {
+		t.Errorf("alloc lost: %v", got.AllocByNode)
+	}
+}
+
+func TestFloodedDataHasNoTree(t *testing.T) {
+	msg := &DataMsg{Origin: 0, Seq: 1, Root: 0, Body: []byte("x")}
+	b, err := Encode(&Frame{Kind: FrameData, Data: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data.Parents) != 0 {
+		t.Errorf("flooded message grew a tree: %v", f.Data.Parents)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame *Frame
+	}{
+		{"nil", nil},
+		{"unknown kind", &Frame{Kind: 99}},
+		{"heartbeat without payload", &Frame{Kind: FrameHeartbeat}},
+		{"heartbeat with data", &Frame{Kind: FrameHeartbeat, Heartbeat: &knowledge.Snapshot{}, Data: &DataMsg{}}},
+		{"data without payload", &Frame{Kind: FrameData}},
+		{"data with heartbeat", &Frame{Kind: FrameData, Data: &DataMsg{}, Heartbeat: &knowledge.Snapshot{}}},
+		{"alloc mismatch", &Frame{Kind: FrameData, Data: &DataMsg{
+			Parents:     []topology.NodeID{topology.None, 0},
+			AllocByNode: []int32{0},
+		}}},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c.frame); err == nil {
+			t.Errorf("%s: Encode should fail", c.name)
+		}
+	}
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}
