@@ -15,23 +15,44 @@
 //  3. allocating per-edge retransmission counts with a provably optimal
 //     greedy allocator so the whole tree is reached with probability ≥ K.
 //
-// This package is the user-facing facade: it wires the live runtime
-// (goroutine nodes over an in-process lossy fabric or TCP) into a Cluster
-// you can broadcast through. The building blocks live in internal
-// packages and are exercised further by the cmd/ tools (cmd/repro
-// regenerates every figure and table of the paper) and the examples/
-// directory.
+// # Architecture
+//
+// The public API is transport-agnostic and centers on Node: one live
+// protocol process bound to a Transport. Two transports ship with the
+// package and both satisfy the same interface:
+//
+//   - the in-process Fabric (NewFabric) — a lossy, latency-injectable
+//     "network in a box" for tests, examples, and single-process clusters;
+//   - TCP (DialTCP) — length-prefixed frames over real sockets, for
+//     running nodes across machines.
+//
+// Nodes are constructed with functional options (WithK, WithHeartbeat,
+// WithPiggyback, WithStableStorage, WithExactlyOnceLog,
+// WithDeliveryBuffer, WithObserver, ...) so every capability of the
+// runtime — crash-recovery stable storage, exactly-once deduplication
+// across crashes, knowledge piggybacking on data frames — is reachable
+// without touching internal packages. Deliveries are consumed either
+// through Subscribe (handler callbacks, in order) or the raw Deliveries
+// channel; broadcasts are initiated with Broadcast or the context-aware
+// BroadcastCtx, which return a Receipt carrying the sequence number and
+// the planned data-message count.
+//
+// Cluster is a thin convenience layer over Node: one node per process of
+// a topology, pre-wired over a shared Fabric — the quickest way to run
+// the full adaptive stack in one process.
+//
+// The algorithmic building blocks live in internal packages and are
+// exercised further by the cmd/ tools (cmd/repro regenerates every figure
+// and table of the paper via the public adaptivecast/experiments package,
+// cmd/simrun compares the algorithms on one configuration via the public
+// adaptivecast/sim package) and the examples/ directory.
 package adaptivecast
 
 import (
-	"errors"
-	"fmt"
-	"time"
+	"math/rand"
 
-	"adaptivecast/internal/knowledge"
 	"adaptivecast/internal/node"
 	"adaptivecast/internal/topology"
-	"adaptivecast/internal/transport"
 )
 
 // Re-exported identifiers so applications never need the internal paths.
@@ -77,138 +98,12 @@ func Clustered(clusters, size, bridges int) (*Topology, []int, error) {
 	return topology.Clustered(clusters, size, bridges)
 }
 
+// RandomConnected returns a random connected topology over n processes
+// with `conn` links per process on average.
+func RandomConnected(n, conn int, rng *rand.Rand) (*Topology, error) {
+	return topology.RandomConnected(n, conn, rng)
+}
+
 // NewTopology returns an empty custom topology over n processes; add
 // links with AddLink.
 func NewTopology(n int) *Topology { return topology.New(n) }
-
-// ClusterConfig configures an in-process cluster.
-type ClusterConfig struct {
-	// Topology is the system graph (required, connected).
-	Topology *Topology
-	// K is the per-broadcast reliability target (default DefaultK).
-	K float64
-	// HeartbeatEvery is δ, the knowledge-exchange period (default 1s;
-	// tests and examples often use a few milliseconds).
-	HeartbeatEvery time.Duration
-	// LinkLoss injects per-link loss probabilities into the in-process
-	// fabric, keyed by canonical link. Missing links are lossless.
-	LinkLoss map[Link]float64
-	// Seed drives the fabric's loss sampling (default 1).
-	Seed int64
-	// DeliveryBuffer sizes each node's delivery channel (default 128).
-	DeliveryBuffer int
-	// BayesIntervals is U, the estimator precision (default 100, the
-	// paper's setting).
-	BayesIntervals int
-}
-
-// Cluster is a set of live protocol nodes connected by an in-process
-// lossy fabric — the quickest way to run the full adaptive stack.
-type Cluster struct {
-	graph  *Topology
-	fabric *transport.Fabric
-	nodes  []*node.Node
-}
-
-// NewCluster builds (but does not start) one node per process of the
-// topology.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	if cfg.Topology == nil {
-		return nil, errors.New("adaptivecast: nil topology")
-	}
-	if !cfg.Topology.Connected() {
-		return nil, errors.New("adaptivecast: topology must be connected")
-	}
-	fabric := transport.NewFabric(transport.FabricOptions{Seed: cfg.Seed})
-	for l, p := range cfg.LinkLoss {
-		if !cfg.Topology.HasLink(l.A, l.B) {
-			_ = fabric.Close()
-			return nil, fmt.Errorf("adaptivecast: loss configured for non-existent link %v", l)
-		}
-		if err := fabric.SetLoss(l.A, l.B, p); err != nil {
-			_ = fabric.Close()
-			return nil, err
-		}
-	}
-	n := cfg.Topology.NumNodes()
-	c := &Cluster{graph: cfg.Topology, fabric: fabric, nodes: make([]*node.Node, n)}
-	for i := 0; i < n; i++ {
-		id := NodeID(i)
-		nd, err := node.New(node.Config{
-			ID:             id,
-			NumProcs:       n,
-			Neighbors:      cfg.Topology.Neighbors(id),
-			K:              cfg.K,
-			HeartbeatEvery: cfg.HeartbeatEvery,
-			Knowledge:      knowledge.Params{Intervals: cfg.BayesIntervals},
-			DeliveryBuffer: cfg.DeliveryBuffer,
-		}, fabric.Endpoint(id))
-		if err != nil {
-			_ = fabric.Close()
-			return nil, fmt.Errorf("adaptivecast: node %d: %w", i, err)
-		}
-		c.nodes[i] = nd
-	}
-	return c, nil
-}
-
-// NumNodes returns the cluster size.
-func (c *Cluster) NumNodes() int { return len(c.nodes) }
-
-// Topology returns the cluster's graph.
-func (c *Cluster) Topology() *Topology { return c.graph }
-
-// Start launches every node's heartbeat activity on real timers.
-func (c *Cluster) Start() {
-	for _, nd := range c.nodes {
-		nd.Start()
-	}
-}
-
-// Tick advances every node one heartbeat period synchronously — the
-// deterministic alternative to Start for tests and paced demos.
-func (c *Cluster) Tick() {
-	for _, nd := range c.nodes {
-		nd.Tick()
-	}
-}
-
-// Broadcast reliably broadcasts body from the given node. It returns the
-// broadcast sequence number and the planned data-message count Σ m[j].
-func (c *Cluster) Broadcast(from NodeID, body []byte) (seq uint64, planned int, err error) {
-	if int(from) >= len(c.nodes) || from < 0 {
-		return 0, 0, fmt.Errorf("adaptivecast: node %d out of range", from)
-	}
-	return c.nodes[from].Broadcast(body)
-}
-
-// Deliveries returns the delivery channel of one node.
-func (c *Cluster) Deliveries(id NodeID) <-chan Delivery {
-	return c.nodes[id].Deliveries()
-}
-
-// Stats returns the protocol counters of one node.
-func (c *Cluster) Stats(id NodeID) NodeStats { return c.nodes[id].Stats() }
-
-// CrashEstimate returns node `at`'s current estimate of process `of`'s
-// per-period crash probability and the estimate's distortion.
-func (c *Cluster) CrashEstimate(at, of NodeID) (mean float64, distortion int) {
-	return c.nodes[at].CrashEstimate(of)
-}
-
-// LossEstimate returns node `at`'s current estimate of a link's loss
-// probability; ok is false while the link is still unknown to that node.
-func (c *Cluster) LossEstimate(at NodeID, l Link) (mean float64, distortion int, ok bool) {
-	return c.nodes[at].LossEstimate(l)
-}
-
-// KnownLinks reports the links node `at` has discovered so far.
-func (c *Cluster) KnownLinks(at NodeID) []Link { return c.nodes[at].KnownLinks() }
-
-// Close stops every node and tears down the fabric.
-func (c *Cluster) Close() error {
-	for _, nd := range c.nodes {
-		nd.Stop()
-	}
-	return c.fabric.Close()
-}

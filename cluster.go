@@ -1,0 +1,175 @@
+package adaptivecast
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Topology is the system graph (required, connected).
+	Topology *Topology
+	// K is the per-broadcast reliability target (default DefaultK).
+	K float64
+	// HeartbeatEvery is δ, the knowledge-exchange period (default 1s;
+	// tests and examples often use a few milliseconds).
+	HeartbeatEvery time.Duration
+	// LinkLoss injects per-link loss probabilities into the in-process
+	// fabric, keyed by canonical link. Missing links are lossless.
+	LinkLoss map[Link]float64
+	// Seed drives the fabric's loss sampling (default 1).
+	Seed int64
+	// DeliveryBuffer sizes each node's delivery channel (default 128).
+	DeliveryBuffer int
+	// BayesIntervals is U, the estimator precision (default 100, the
+	// paper's setting).
+	BayesIntervals int
+	// Piggyback attaches knowledge snapshots to data frames on every
+	// node (Section 4.1's bandwidth optimization).
+	Piggyback bool
+}
+
+// Cluster is a thin convenience layer over Node: one node per process of
+// the topology, pre-wired over a shared in-process Fabric — the quickest
+// way to run the full adaptive stack. For per-node control (subscription
+// handlers, observers, broadcast contexts) reach the underlying nodes
+// with Node.
+type Cluster struct {
+	graph  *Topology
+	fabric *Fabric
+	nodes  []*Node
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewCluster builds (but does not start) one node per process of the
+// topology.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("adaptivecast: nil topology")
+	}
+	if !cfg.Topology.Connected() {
+		return nil, errors.New("adaptivecast: topology must be connected")
+	}
+	fabric := NewFabric(FabricOptions{Seed: cfg.Seed})
+	for l, p := range cfg.LinkLoss {
+		if !cfg.Topology.HasLink(l.A, l.B) {
+			_ = fabric.Close()
+			return nil, fmt.Errorf("adaptivecast: loss configured for non-existent link %v", l)
+		}
+		if err := fabric.SetLoss(l.A, l.B, p); err != nil {
+			_ = fabric.Close()
+			return nil, err
+		}
+	}
+	n := cfg.Topology.NumNodes()
+	c := &Cluster{graph: cfg.Topology, fabric: fabric, nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		opts := []Option{
+			WithK(cfg.K),
+			WithHeartbeat(cfg.HeartbeatEvery),
+			WithDeliveryBuffer(cfg.DeliveryBuffer),
+			WithBayesIntervals(cfg.BayesIntervals),
+		}
+		if cfg.Piggyback {
+			opts = append(opts, WithPiggyback())
+		}
+		nd, err := NewNode(fabric.Endpoint(id), n, cfg.Topology.Neighbors(id), opts...)
+		if err != nil {
+			_ = fabric.Close()
+			return nil, fmt.Errorf("adaptivecast: node %d: %w", i, err)
+		}
+		c.nodes[i] = nd
+	}
+	return c, nil
+}
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Topology returns the cluster's graph.
+func (c *Cluster) Topology() *Topology { return c.graph }
+
+// Node returns one member of the cluster, for the per-node API
+// (Subscribe, BroadcastCtx, estimates); it panics on an out-of-range ID
+// like a slice index would.
+func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
+
+// Fabric returns the shared in-process transport, for loss injection and
+// transport-level stats.
+func (c *Cluster) Fabric() *Fabric { return c.fabric }
+
+// Start launches every node's heartbeat activity on real timers.
+func (c *Cluster) Start() {
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+}
+
+// Tick advances every node one heartbeat period synchronously — the
+// deterministic alternative to Start for tests and paced demos.
+func (c *Cluster) Tick() {
+	for _, nd := range c.nodes {
+		nd.Tick()
+	}
+}
+
+// Broadcast reliably broadcasts body from the given node. It returns the
+// broadcast sequence number and the planned data-message count Σ m[j].
+func (c *Cluster) Broadcast(from NodeID, body []byte) (seq uint64, planned int, err error) {
+	if from < 0 || int(from) >= len(c.nodes) {
+		return 0, 0, fmt.Errorf("adaptivecast: node %d out of range", from)
+	}
+	r, err := c.nodes[from].Broadcast(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.Seq, r.Planned, nil
+}
+
+// Deliveries returns the delivery channel of one node. Do not mix with
+// Subscribe on the same node.
+func (c *Cluster) Deliveries(id NodeID) <-chan Delivery {
+	return c.nodes[id].Deliveries()
+}
+
+// Stats returns the protocol counters of one node.
+func (c *Cluster) Stats(id NodeID) NodeStats { return c.nodes[id].Stats() }
+
+// CrashEstimate returns node `at`'s current estimate of process `of`'s
+// per-period crash probability and the estimate's distortion.
+func (c *Cluster) CrashEstimate(at, of NodeID) (mean float64, distortion int) {
+	return c.nodes[at].CrashEstimate(of)
+}
+
+// LossEstimate returns node `at`'s current estimate of a link's loss
+// probability; ok is false while the link is still unknown to that node.
+func (c *Cluster) LossEstimate(at NodeID, l Link) (mean float64, distortion int, ok bool) {
+	return c.nodes[at].LossEstimate(l)
+}
+
+// KnownLinks reports the links node `at` has discovered so far.
+func (c *Cluster) KnownLinks(at NodeID) []Link { return c.nodes[at].KnownLinks() }
+
+// Close stops every node and tears down the fabric, returning the errors
+// joined. It is idempotent: repeated calls return the first result
+// without re-stopping anything.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		errs := make([]error, 0, len(c.nodes)+1)
+		for _, nd := range c.nodes {
+			if err := nd.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := c.fabric.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		c.closeErr = errors.Join(errs...)
+	})
+	return c.closeErr
+}

@@ -6,14 +6,14 @@ import (
 	"os"
 	"time"
 
-	"adaptivecast/internal/topology"
+	"adaptivecast"
 )
 
 // NodeSpec describes one cluster member.
 type NodeSpec struct {
-	ID        topology.NodeID   `json:"id"`
-	Addr      string            `json:"addr"`
-	Neighbors []topology.NodeID `json:"neighbors"`
+	ID        adaptivecast.NodeID   `json:"id"`
+	Addr      string                `json:"addr"`
+	Neighbors []adaptivecast.NodeID `json:"neighbors"`
 }
 
 // ClusterConfig is the JSON cluster file.
@@ -72,7 +72,7 @@ func (cc *ClusterConfig) Validate() error {
 	if cc.K < 0 || cc.K >= 1 {
 		return fmt.Errorf("config: k=%v outside [0,1)", cc.K)
 	}
-	seen := make(map[topology.NodeID]bool, n)
+	seen := make(map[adaptivecast.NodeID]bool, n)
 	for _, ns := range cc.Nodes {
 		if ns.ID < 0 || int(ns.ID) >= n {
 			return fmt.Errorf("config: node ID %d outside dense range [0,%d)", ns.ID, n)
@@ -88,14 +88,14 @@ func (cc *ClusterConfig) Validate() error {
 	// Build the graph; AddLink validates endpoints and self-loops, and
 	// symmetry falls out because links are undirected — but we still
 	// check the declared relations agree in both directions.
-	g := topology.New(n)
-	declared := make(map[topology.Link]int)
+	g := adaptivecast.NewTopology(n)
+	declared := make(map[adaptivecast.Link]int)
 	for _, ns := range cc.Nodes {
 		for _, nb := range ns.Neighbors {
 			if _, err := g.AddLink(ns.ID, nb); err != nil {
 				return fmt.Errorf("config: node %d: %w", ns.ID, err)
 			}
-			declared[topology.NewLink(ns.ID, nb)]++
+			declared[adaptivecast.NewLink(ns.ID, nb)]++
 		}
 	}
 	for l, count := range declared {
@@ -110,7 +110,7 @@ func (cc *ClusterConfig) Validate() error {
 }
 
 // Node returns the spec for one ID.
-func (cc *ClusterConfig) Node(id topology.NodeID) (*NodeSpec, error) {
+func (cc *ClusterConfig) Node(id adaptivecast.NodeID) (*NodeSpec, error) {
 	for i := range cc.Nodes {
 		if cc.Nodes[i].ID == id {
 			return &cc.Nodes[i], nil
@@ -120,8 +120,8 @@ func (cc *ClusterConfig) Node(id topology.NodeID) (*NodeSpec, error) {
 }
 
 // AddressBook returns the peer address map for the TCP transport.
-func (cc *ClusterConfig) AddressBook() map[topology.NodeID]string {
-	out := make(map[topology.NodeID]string, len(cc.Nodes))
+func (cc *ClusterConfig) AddressBook() map[adaptivecast.NodeID]string {
+	out := make(map[adaptivecast.NodeID]string, len(cc.Nodes))
 	for _, ns := range cc.Nodes {
 		out[ns.ID] = ns.Addr
 	}

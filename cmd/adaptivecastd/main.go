@@ -35,10 +35,7 @@ import (
 	"path/filepath"
 	"syscall"
 
-	"adaptivecast/internal/dedup"
-	"adaptivecast/internal/node"
-	"adaptivecast/internal/topology"
-	"adaptivecast/internal/transport"
+	"adaptivecast"
 )
 
 func main() {
@@ -72,44 +69,44 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	self, err := cc.Node(topology.NodeID(*id))
+	self, err := cc.Node(adaptivecast.NodeID(*id))
 	if err != nil {
 		return err
 	}
 
-	tcp, err := transport.NewTCP(self.ID, self.Addr, cc.AddressBook(), transport.TCPOptions{})
+	tcp, err := adaptivecast.DialTCP(self.ID, self.Addr, cc.AddressBook(), adaptivecast.TCPOptions{})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = tcp.Close() }()
 
-	nodeCfg := node.Config{
-		ID:             self.ID,
-		NumProcs:       len(cc.Nodes),
-		Neighbors:      self.Neighbors,
-		K:              cc.K,
-		HeartbeatEvery: cc.HeartbeatPeriod(),
-		Piggyback:      cc.Piggyback,
+	opts := []adaptivecast.Option{
+		adaptivecast.WithK(cc.K),
+		adaptivecast.WithHeartbeat(cc.HeartbeatPeriod()),
+	}
+	if cc.Piggyback {
+		opts = append(opts, adaptivecast.WithPiggyback())
 	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			return err
 		}
-		nodeCfg.Storage = node.NewFileStorage(filepath.Join(*dataDir, fmt.Sprintf("node-%d.mark", *id)))
-		dlog, err := dedup.Open(filepath.Join(*dataDir, fmt.Sprintf("node-%d.dedup", *id)))
+		opts = append(opts, adaptivecast.WithStableStorage(
+			adaptivecast.NewFileStorage(filepath.Join(*dataDir, fmt.Sprintf("node-%d.mark", *id)))))
+		dlog, err := adaptivecast.OpenExactlyOnceLog(filepath.Join(*dataDir, fmt.Sprintf("node-%d.dedup", *id)))
 		if err != nil {
 			return err
 		}
 		defer func() { _ = dlog.Close() }()
-		nodeCfg.DedupLog = dlog
+		opts = append(opts, adaptivecast.WithExactlyOnceLog(dlog))
 	}
 
-	nd, err := node.New(nodeCfg, tcp)
+	nd, err := adaptivecast.NewNode(tcp, len(cc.Nodes), self.Neighbors, opts...)
 	if err != nil {
 		return err
 	}
 	nd.Start()
-	defer nd.Stop()
+	defer func() { _ = nd.Close() }()
 	fmt.Fprintf(stdout, "node %d up on %s (%d peers, δ=%v, K=%g)\n",
 		self.ID, tcp.Addr(), len(cc.Nodes)-1, cc.HeartbeatPeriod(), cc.K)
 
@@ -128,7 +125,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}()
 
 	if *oneShot != "" {
-		if _, _, err := nd.Broadcast([]byte(*oneShot)); err != nil {
+		if _, err := nd.Broadcast([]byte(*oneShot)); err != nil {
 			return err
 		}
 	}
@@ -144,10 +141,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				lines = nil
 				continue
 			}
-			if _, planned, err := nd.Broadcast([]byte(line)); err != nil {
+			if r, err := nd.Broadcast([]byte(line)); err != nil {
 				fmt.Fprintf(stdout, "broadcast error: %v\n", err)
 			} else {
-				fmt.Fprintf(stdout, "broadcast planned=%d\n", planned)
+				fmt.Fprintf(stdout, "broadcast planned=%d\n", r.Planned)
 			}
 		case sig := <-sigs:
 			st := nd.Stats()

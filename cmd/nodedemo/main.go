@@ -1,7 +1,9 @@
 // Command nodedemo runs a live cluster of protocol nodes over real TCP
 // sockets on localhost: every node learns the topology and link qualities
 // via heartbeats, then one node broadcasts and the demo reports the
-// deliveries and the learned estimates.
+// deliveries and the learned estimates. It is built entirely on the
+// public adaptivecast API: adaptivecast.DialTCP for the transport,
+// adaptivecast.NewNode for the processes, and Subscribe for delivery.
 //
 // Usage:
 //
@@ -15,10 +17,7 @@ import (
 	"os"
 	"time"
 
-	"adaptivecast/internal/node"
-	"adaptivecast/internal/topology"
-	"adaptivecast/internal/transport"
-	"adaptivecast/internal/wire"
+	"adaptivecast"
 )
 
 func main() {
@@ -49,7 +48,7 @@ func run(args []string, out io.Writer) error {
 
 	// Start one TCP transport per node on an ephemeral port, then teach
 	// everyone the address book.
-	transports := make([]*transport.TCP, g.NumNodes())
+	transports := make([]*adaptivecast.TCP, g.NumNodes())
 	defer func() {
 		for _, tr := range transports {
 			if tr != nil {
@@ -58,7 +57,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 	for i := range transports {
-		tr, err := transport.NewTCP(topology.NodeID(i), "127.0.0.1:0", nil, transport.TCPOptions{})
+		tr, err := adaptivecast.DialTCP(adaptivecast.NodeID(i), "127.0.0.1:0", nil, adaptivecast.TCPOptions{})
 		if err != nil {
 			return err
 		}
@@ -67,29 +66,33 @@ func run(args []string, out io.Writer) error {
 	for i, tr := range transports {
 		for j, other := range transports {
 			if i != j {
-				tr.AddPeer(topology.NodeID(j), other.Addr().String())
+				tr.AddPeer(adaptivecast.NodeID(j), other.Addr().String())
 			}
 		}
 	}
 
-	nodes := make([]*node.Node, g.NumNodes())
+	// One subscription per node feeds a shared delivery stream.
+	type arrival struct {
+		node adaptivecast.NodeID
+		d    adaptivecast.Delivery
+	}
+	arrivals := make(chan arrival, g.NumNodes())
+
+	nodes := make([]*adaptivecast.Node, g.NumNodes())
 	for i := range nodes {
-		id := topology.NodeID(i)
-		nd, err := node.New(node.Config{
-			ID:             id,
-			NumProcs:       g.NumNodes(),
-			Neighbors:      g.Neighbors(id),
-			HeartbeatEvery: *heartbeat,
-		}, transports[i])
+		id := adaptivecast.NodeID(i)
+		nd, err := adaptivecast.NewNode(transports[i], g.NumNodes(), g.Neighbors(id),
+			adaptivecast.WithHeartbeat(*heartbeat))
 		if err != nil {
 			return err
 		}
 		nodes[i] = nd
+		nd.Subscribe(func(d adaptivecast.Delivery) { arrivals <- arrival{node: id, d: d} })
 		nd.Start()
 	}
 	defer func() {
 		for _, nd := range nodes {
-			nd.Stop()
+			_ = nd.Close()
 		}
 	}()
 
@@ -101,20 +104,20 @@ func run(args []string, out io.Writer) error {
 			i, len(nd.KnownLinks()), g.NumLinks(), nd.Stats().HeartbeatsReceived)
 	}
 
-	_, planned, err := nodes[0].Broadcast([]byte("hello from node 0 over TCP"))
+	r, err := nodes[0].Broadcast([]byte("hello from node 0 over TCP"))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\nnode 0 broadcast planned %d data messages\n", planned)
+	fmt.Fprintf(out, "\nnode 0 broadcast #%d planned %d data messages\n", r.Seq, r.Planned)
 
 	deadline := time.After(5 * time.Second)
-	for i, nd := range nodes {
+	for range nodes {
 		select {
-		case d := <-nd.Deliveries():
+		case a := <-arrivals:
 			fmt.Fprintf(out, "node %d delivered %q (origin %d, via %d)\n",
-				i, d.Body, d.Origin, d.From)
+				a.node, a.d.Body, a.d.Origin, a.d.From)
 		case <-deadline:
-			return fmt.Errorf("node %d did not deliver in time", i)
+			return fmt.Errorf("not every node delivered in time")
 		}
 	}
 	if nodes[0].Stats().FallbackFloods > 0 {
@@ -122,31 +125,23 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintln(out, "broadcast rode a Maximum Reliability Tree")
 	}
-
-	// Show the wire-level framing once, for the curious.
-	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: &wire.DataMsg{
-		Origin: 0, Seq: 999, Root: 0, Body: []byte("sizing probe"),
-	}})
-	if err == nil {
-		fmt.Fprintf(out, "(a minimal data frame is %d bytes on the wire)\n", len(frame))
-	}
 	return nil
 }
 
-func buildTopology(shape string, n int) (*topology.Graph, error) {
+func buildTopology(shape string, n int) (*adaptivecast.Topology, error) {
 	switch shape {
 	case "ring":
-		return topology.Ring(n)
+		return adaptivecast.Ring(n)
 	case "star":
-		return topology.Star(n)
+		return adaptivecast.Star(n)
 	case "complete":
-		return topology.Complete(n)
+		return adaptivecast.Complete(n)
 	case "grid":
 		side := 1
 		for side*side < n {
 			side++
 		}
-		return topology.Grid(side, side)
+		return adaptivecast.Grid(side, side)
 	default:
 		return nil, fmt.Errorf("unknown topology %q", shape)
 	}

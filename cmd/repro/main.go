@@ -20,7 +20,7 @@ import (
 	"os"
 	"time"
 
-	"adaptivecast/internal/experiments"
+	"adaptivecast/experiments"
 )
 
 func main() {

@@ -3,8 +3,9 @@
 // crashes a process may see the same message again; "such a guarantee
 // [exactly-once] can be built on top of our reliable broadcast primitive"
 // with local logging. This example crashes a consumer node mid-stream,
-// restarts it with its durable dedup log, replays the stream, and shows
-// that every message is processed exactly once.
+// restarts it with its durable exactly-once log (the public
+// WithExactlyOnceLog option), replays the stream, and shows that every
+// message is processed exactly once.
 package main
 
 import (
@@ -14,10 +15,7 @@ import (
 	"path/filepath"
 	"time"
 
-	"adaptivecast/internal/dedup"
-	"adaptivecast/internal/node"
-	"adaptivecast/internal/topology"
-	"adaptivecast/internal/transport"
+	"adaptivecast"
 )
 
 func main() {
@@ -38,13 +36,13 @@ func run() error {
 	}()
 	logPath := filepath.Join(dir, "consumer.dedup")
 
-	g, err := topology.Line(2) // producer 0 — consumer 1
+	g, err := adaptivecast.Line(2) // producer 0 — consumer 1
 	if err != nil {
 		return err
 	}
 
 	// ---- First incarnation of the consumer ----------------------------
-	fabric := transport.NewFabric(transport.FabricOptions{})
+	fabric := adaptivecast.NewFabric(adaptivecast.FabricOptions{})
 	producer, consumer, dlog, err := buildPair(g, fabric, logPath)
 	if err != nil {
 		return err
@@ -52,15 +50,15 @@ func run() error {
 
 	fmt.Println("producing events 1..3; consumer is healthy")
 	for i := 1; i <= 3; i++ {
-		if _, _, err := producer.Broadcast([]byte(fmt.Sprintf("event-%d", i))); err != nil {
+		if _, err := producer.Broadcast([]byte(fmt.Sprintf("event-%d", i))); err != nil {
 			return err
 		}
 	}
 	consume(consumer, 3)
 
 	fmt.Println("\n*** consumer crashes (volatile state lost, dedup log survives) ***")
-	consumer.Stop()
-	producer.Stop()
+	_ = consumer.Close()
+	_ = producer.Close()
 	if err := dlog.Close(); err != nil {
 		return err
 	}
@@ -69,21 +67,21 @@ func run() error {
 	}
 
 	// ---- Second incarnation -------------------------------------------
-	fabric2 := transport.NewFabric(transport.FabricOptions{})
+	fabric2 := adaptivecast.NewFabric(adaptivecast.FabricOptions{})
 	defer func() { _ = fabric2.Close() }()
 	producer2, consumer2, dlog2, err := buildPair(g, fabric2, logPath)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		consumer2.Stop()
-		producer2.Stop()
+		_ = consumer2.Close()
+		_ = producer2.Close()
 		_ = dlog2.Close()
 	}()
 
 	fmt.Println("producer replays events 1..3 (sender also restarted), then sends 4..5")
 	for i := 1; i <= 5; i++ {
-		if _, _, err := producer2.Broadcast([]byte(fmt.Sprintf("event-%d", i))); err != nil {
+		if _, err := producer2.Broadcast([]byte(fmt.Sprintf("event-%d", i))); err != nil {
 			return err
 		}
 	}
@@ -99,22 +97,19 @@ func run() error {
 	return nil
 }
 
-// buildPair wires the producer and the log-backed consumer over a fabric.
-func buildPair(g *topology.Graph, fabric *transport.Fabric, logPath string) (*node.Node, *node.Node, *dedup.Log, error) {
-	dlog, err := dedup.Open(logPath)
+// buildPair wires the producer and the log-backed consumer over a fabric,
+// using only the public constructors.
+func buildPair(g *adaptivecast.Topology, fabric *adaptivecast.Fabric, logPath string) (*adaptivecast.Node, *adaptivecast.Node, *adaptivecast.ExactlyOnceLog, error) {
+	dlog, err := adaptivecast.OpenExactlyOnceLog(logPath)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	producer, err := node.New(node.Config{
-		ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0),
-	}, fabric.Endpoint(0))
+	producer, err := adaptivecast.NewNode(fabric.Endpoint(0), 2, g.Neighbors(0))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	consumer, err := node.New(node.Config{
-		ID: 1, NumProcs: 2, Neighbors: g.Neighbors(1),
-		DedupLog: dlog,
-	}, fabric.Endpoint(1))
+	consumer, err := adaptivecast.NewNode(fabric.Endpoint(1), 2, g.Neighbors(1),
+		adaptivecast.WithExactlyOnceLog(dlog))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -122,7 +117,7 @@ func buildPair(g *topology.Graph, fabric *transport.Fabric, logPath string) (*no
 }
 
 // consume prints up to n deliveries (with a timeout safety net).
-func consume(consumer *node.Node, n int) {
+func consume(consumer *adaptivecast.Node, n int) {
 	for i := 0; i < n; i++ {
 		select {
 		case d := <-consumer.Deliveries():

@@ -68,14 +68,23 @@ func run() error {
 		}
 	}()
 
-	cluster.Start()
-	time.Sleep(250 * time.Millisecond) // knowledge warm-up
-
 	subs := []*subscriber{
 		{node: 2, topics: map[string]bool{"orders": true}},
 		{node: 4, topics: map[string]bool{"metrics/*": true}},
 		{node: 8, topics: map[string]bool{"orders": true, "metrics/cpu": true}},
 	}
+
+	// Each subscriber registers a handler on its broker node; the handler
+	// feeds a private stream so the printout below stays ordered.
+	streams := make([]chan adaptivecast.Delivery, len(subs))
+	for i, sub := range subs {
+		ch := make(chan adaptivecast.Delivery, 16)
+		streams[i] = ch
+		cluster.Node(sub.node).Subscribe(func(d adaptivecast.Delivery) { ch <- d })
+	}
+
+	cluster.Start()
+	time.Sleep(250 * time.Millisecond) // knowledge warm-up
 
 	events := []event{
 		{Topic: "orders", Payload: "order #1842 created"},
@@ -96,11 +105,11 @@ func run() error {
 
 	// Every broker receives every event (reliable broadcast); the
 	// subscription filter decides what reaches the application.
-	for _, sub := range subs {
+	for i, sub := range subs {
 		fmt.Printf("subscriber on node %d (topics %v):\n", sub.node, keys(sub.topics))
 		for range events {
 			select {
-			case d := <-cluster.Deliveries(sub.node):
+			case d := <-streams[i]:
 				var ev event
 				if err := json.Unmarshal(d.Body, &ev); err != nil {
 					return err

@@ -1,10 +1,12 @@
 // Quickstart: run a 6-node in-process cluster, let it learn the topology,
-// and reliably broadcast a message from node 0 to everyone.
+// and reliably broadcast a message from node 0 to everyone, consuming the
+// deliveries with subscription handlers.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"adaptivecast"
@@ -34,6 +36,17 @@ func run() error {
 		}
 	}()
 
+	// Subscribe a handler on every node before traffic flows.
+	var wg sync.WaitGroup
+	wg.Add(cluster.NumNodes())
+	for i := 0; i < cluster.NumNodes(); i++ {
+		id := adaptivecast.NodeID(i)
+		cluster.Node(id).Subscribe(func(d adaptivecast.Delivery) {
+			fmt.Printf("node %d delivered %q (origin %d)\n", id, d.Body, d.Origin)
+			wg.Done()
+		})
+	}
+
 	// Start the knowledge activity (Algorithm 4) on real timers and give
 	// the heartbeats a moment to spread the topology.
 	cluster.Start()
@@ -50,13 +63,12 @@ func run() error {
 	}
 	fmt.Printf("broadcast #%d planned %d data messages\n", seq, planned)
 
-	for i := 0; i < cluster.NumNodes(); i++ {
-		select {
-		case d := <-cluster.Deliveries(adaptivecast.NodeID(i)):
-			fmt.Printf("node %d delivered %q (origin %d)\n", i, d.Body, d.Origin)
-		case <-time.After(5 * time.Second):
-			return fmt.Errorf("node %d did not deliver", i)
-		}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("not every node delivered")
 	}
 	return nil
 }

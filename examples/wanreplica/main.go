@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,13 +61,16 @@ func run() error {
 	fmt.Printf("node 0 estimates: bridge %v ≈ %.3f loss, bridge %v ≈ %.3f loss\n",
 		goodBridge, good, badBridge, bad)
 
-	// Broadcast a replicated write from datacenter 1.
-	seq, planned, err := cluster.Broadcast(0, []byte("SET inventory[widget] = 41"))
+	// Broadcast a replicated write from datacenter 1, bounded by a
+	// context like any other replicated-write path would be.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	r, err := cluster.Node(0).BroadcastCtx(ctx, []byte("SET inventory[widget] = 41"))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("broadcast #%d planned %d data messages for %d nodes\n",
-		seq, planned, cluster.NumNodes())
+		r.Seq, r.Planned, cluster.NumNodes())
 
 	for i := 0; i < cluster.NumNodes(); i++ {
 		select {

@@ -1,0 +1,109 @@
+// Package experiments is the public facade over the paper's evaluation
+// suite: every figure and table of the DSN 2004 paper plus the repo's
+// ablations and heterogeneity extension, regenerated as text series. It
+// exists so cmd/repro and external users can reproduce the evaluation
+// against a stable import path, without reaching into internal packages.
+package experiments
+
+import (
+	iexperiments "adaptivecast/internal/experiments"
+
+	"adaptivecast/sim"
+)
+
+// Re-exported result and parameter types.
+type (
+	// Series is one labeled data series of a figure.
+	Series = iexperiments.Series
+	// FigureResult is a rendered-to-be figure: series plus axis labels.
+	// Render returns the text form; RenderChart draws an ASCII chart.
+	FigureResult = iexperiments.FigureResult
+	// Figure1Params parameterizes the closed-form two-path comparison.
+	Figure1Params = iexperiments.Figure1Params
+	// Table1Row is one row of the Bayesian belief-adaptation table.
+	Table1Row = iexperiments.Table1Row
+	// Figure4Params parameterizes the reference/adaptive ratio sweep.
+	Figure4Params = iexperiments.Figure4Params
+	// Figure5Params parameterizes the convergence-effort sweep.
+	Figure5Params = iexperiments.Figure5Params
+	// Figure6Params parameterizes the scalability sweep.
+	Figure6Params = iexperiments.Figure6Params
+	// ConvergenceParams tunes one convergence measurement.
+	ConvergenceParams = iexperiments.ConvergenceParams
+	// ConvergenceResult is one convergence measurement's outcome.
+	ConvergenceResult = iexperiments.ConvergenceResult
+	// AblationParams parameterizes the component ablations.
+	AblationParams = iexperiments.AblationParams
+	// HeterogeneousParams parameterizes the heterogeneity extension.
+	HeterogeneousParams = iexperiments.HeterogeneousParams
+)
+
+// Figure1 regenerates Figure 1 (two-path adaptive vs gossip, closed
+// form).
+func Figure1(p Figure1Params) FigureResult { return iexperiments.Figure1(p) }
+
+// DefaultFigure1 is the paper's Figure 1 parameter grid.
+func DefaultFigure1() Figure1Params { return iexperiments.DefaultFigure1() }
+
+// Table1 regenerates Table 1 (Bayesian belief adaptation, U=5).
+func Table1() []Table1Row { return iexperiments.Table1() }
+
+// RenderTable1 renders Table 1 as text.
+func RenderTable1(rows []Table1Row) string { return iexperiments.RenderTable1(rows) }
+
+// Figure4 regenerates Figure 4 (reference/adaptive message-cost ratio).
+func Figure4(p Figure4Params) (FigureResult, error) { return iexperiments.Figure4(p) }
+
+// DefaultFigure4 is the paper's Figure 4 parameter grid.
+func DefaultFigure4(varyLoss bool) Figure4Params { return iexperiments.DefaultFigure4(varyLoss) }
+
+// Figure5 regenerates Figure 5 (convergence effort).
+func Figure5(p Figure5Params) (FigureResult, error) { return iexperiments.Figure5(p) }
+
+// DefaultFigure5 is the paper's Figure 5 parameter grid.
+func DefaultFigure5(varyLoss bool) Figure5Params { return iexperiments.DefaultFigure5(varyLoss) }
+
+// Figure6 regenerates Figure 6 (scalability, ring vs tree).
+func Figure6(p Figure6Params) (FigureResult, error) { return iexperiments.Figure6(p) }
+
+// DefaultFigure6 is the paper's Figure 6 parameter grid.
+func DefaultFigure6() Figure6Params { return iexperiments.DefaultFigure6() }
+
+// MeasureConvergence runs the adaptive stack on one ground truth until
+// every view converges (or the period budget runs out).
+func MeasureConvergence(truth *sim.Config, p ConvergenceParams) (ConvergenceResult, error) {
+	return iexperiments.MeasureConvergence(truth, p)
+}
+
+// AdaptiveCost plans one converged adaptive broadcast on the ground truth
+// and returns its data-message count (MRT + greedy allocation) — the
+// optimal algorithm's cost.
+func AdaptiveCost(cfg *sim.Config, root sim.NodeID, k float64) (int, error) {
+	return iexperiments.AdaptiveCost(cfg, root, k)
+}
+
+// AblationAllocation compares the greedy per-edge allocation against a
+// uniform one.
+func AblationAllocation(p AblationParams) (FigureResult, error) {
+	return iexperiments.AblationAllocation(p)
+}
+
+// AblationTree compares the Maximum Reliability Tree against BFS and
+// random spanning trees.
+func AblationTree(p AblationParams) (FigureResult, error) {
+	return iexperiments.AblationTree(p)
+}
+
+// AblationGossipAcks quantifies the reference gossip's ack overhead.
+func AblationGossipAcks(p AblationParams) (FigureResult, error) {
+	return iexperiments.AblationGossipAcks(p)
+}
+
+// Heterogeneous regenerates the heterogeneous-reliability extension
+// figure.
+func Heterogeneous(p HeterogeneousParams) (FigureResult, error) {
+	return iexperiments.Heterogeneous(p)
+}
+
+// DefaultHeterogeneous is the heterogeneity extension's default grid.
+func DefaultHeterogeneous() HeterogeneousParams { return iexperiments.DefaultHeterogeneous() }

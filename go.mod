@@ -1,0 +1,3 @@
+module adaptivecast
+
+go 1.24

@@ -47,6 +47,23 @@ type Stats struct {
 	LogErrors          int // dedup-log write failures (delivery degrades to at-least-once)
 }
 
+// Hooks are optional instrumentation callbacks. They are invoked
+// synchronously from protocol goroutines with no node lock held, so
+// implementations may call back into the node but must stay fast; nil
+// fields are skipped.
+type Hooks struct {
+	// OnDeliver fires after a delivery was queued for the application.
+	OnDeliver func(Delivery)
+	// OnDrop fires when a delivery is discarded because the delivery
+	// buffer was full (the drop is also counted in Stats).
+	OnDrop func(Delivery)
+	// OnTreeRebuild fires when a broadcast plans a fresh Maximum
+	// Reliability Tree from the current view, with the broadcast's
+	// sequence number, the tree's edge count, and the planned data-message
+	// total Σ m[j]. Warm-up floods do not rebuild a tree and do not fire.
+	OnTreeRebuild func(seq uint64, edges, planned int)
+}
+
 // Config configures a node.
 type Config struct {
 	// ID is this process; IDs are dense in [0, NumProcs).
@@ -79,6 +96,8 @@ type Config struct {
 	// DeliveryBuffer sizes the delivery channel (default 128). When the
 	// application lags, further deliveries are dropped and counted.
 	DeliveryBuffer int
+	// Hooks are optional instrumentation callbacks.
+	Hooks Hooks
 	// Now injects a clock for tests (default time.Now).
 	Now func() time.Time
 }
@@ -202,6 +221,9 @@ func (n *Node) Stop() {
 	})
 }
 
+// ID returns the node's process identity.
+func (n *Node) ID() topology.NodeID { return n.cfg.ID }
+
 // Deliveries returns the channel of application deliveries.
 func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 
@@ -317,6 +339,9 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 	}
 	n.mu.Unlock()
 
+	if planErr == nil && n.cfg.Hooks.OnTreeRebuild != nil {
+		n.cfg.Hooks.OnTreeRebuild(seq, tree.NumEdges(), planned)
+	}
 	n.pushDelivery(Delivery{Origin: n.cfg.ID, Seq: seq, From: n.cfg.ID, Body: body})
 
 	if planErr == nil {
@@ -515,9 +540,15 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 func (n *Node) pushDelivery(d Delivery) {
 	select {
 	case n.deliveries <- d:
+		if n.cfg.Hooks.OnDeliver != nil {
+			n.cfg.Hooks.OnDeliver(d)
+		}
 	default:
 		n.mu.Lock()
 		n.stats.DroppedDeliveries++
 		n.mu.Unlock()
+		if n.cfg.Hooks.OnDrop != nil {
+			n.cfg.Hooks.OnDrop(d)
+		}
 	}
 }

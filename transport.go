@@ -1,0 +1,47 @@
+package adaptivecast
+
+import "adaptivecast/internal/transport"
+
+// Transport moves opaque frames between protocol nodes. A Node works over
+// any implementation; the package ships two — the in-process Fabric and
+// TCP. Handlers are invoked on the transport's receive goroutine, one
+// frame at a time per node, so node state machines see serialized input.
+type Transport = transport.Transport
+
+// Handler consumes one inbound frame. Implementations must not retain the
+// frame slice after returning.
+type Handler = transport.Handler
+
+// Fabric is an in-process "network": it owns one endpoint per node and
+// applies injectable per-link loss probabilities and latency, giving the
+// live node stack the same probabilistic environment the paper's
+// simulator models. Obtain per-node transports with Endpoint.
+type Fabric = transport.Fabric
+
+// FabricOptions tunes the in-process transport (seed, latency, queue
+// size).
+type FabricOptions = transport.FabricOptions
+
+// FabricStats counts fabric-level events (sent, lost, overflows).
+type FabricStats = transport.FabricStats
+
+// NewFabric returns an empty in-process fabric. Endpoints are created on
+// first use with Fabric.Endpoint and plug straight into NewNode.
+func NewFabric(opts FabricOptions) *Fabric { return transport.NewFabric(opts) }
+
+// TCP is a Transport over real sockets: length-prefixed frames preceded
+// by a one-time hello identifying the sender. Connections are dialed on
+// demand and cached; inbound frames from all connections are serialized
+// through one dispatch goroutine.
+type TCP = transport.TCP
+
+// TCPOptions tunes the TCP transport (dial timeout, queue size).
+type TCPOptions = transport.TCPOptions
+
+// DialTCP starts a TCP transport for node `local`, listening on
+// listenAddr (":0" picks an ephemeral port, see TCP.Addr) and able to
+// reach the peers in the address book (peer ID → host:port). The book may
+// be nil and extended later with TCP.AddPeer.
+func DialTCP(local NodeID, listenAddr string, peers map[NodeID]string, opts TCPOptions) (*TCP, error) {
+	return transport.NewTCP(local, listenAddr, peers, opts)
+}

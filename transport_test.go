@@ -1,0 +1,78 @@
+package adaptivecast_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"adaptivecast"
+)
+
+// TestTCPRoundTripPublicAPI runs a two-node broadcast over real sockets
+// through the public constructors only: adaptivecast.DialTCP for the
+// transports, adaptivecast.NewNode for the processes, and Subscribe for
+// delivery on both ends.
+func TestTCPRoundTripPublicAPI(t *testing.T) {
+	g, err := adaptivecast.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr0, err := adaptivecast.DialTCP(0, "127.0.0.1:0", nil, adaptivecast.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr0.Close() }()
+	tr1, err := adaptivecast.DialTCP(1, "127.0.0.1:0", nil, adaptivecast.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr1.Close() }()
+	tr0.AddPeer(1, tr1.Addr().String())
+	tr1.AddPeer(0, tr0.Addr().String())
+
+	n0, err := adaptivecast.NewNode(tr0, 2, g.Neighbors(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n0.Close() }()
+	n1, err := adaptivecast.NewNode(tr1, 2, g.Neighbors(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n1.Close() }()
+
+	got0 := make(chan adaptivecast.Delivery, 1)
+	got1 := make(chan adaptivecast.Delivery, 1)
+	n0.Subscribe(func(d adaptivecast.Delivery) { got0 <- d })
+	n1.Subscribe(func(d adaptivecast.Delivery) { got1 <- d })
+
+	// Exchange heartbeats deterministically so the broadcast can ride an
+	// MRT rather than a warm-up flood.
+	for i := 0; i < 10; i++ {
+		n0.Tick()
+		n1.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	r, err := n0.BroadcastCtx(ctx, []byte("over the wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Origin != 0 || r.Seq != 1 {
+		t.Errorf("receipt = %+v, want origin 0 seq 1", r)
+	}
+
+	for name, ch := range map[string]chan adaptivecast.Delivery{"node 0": got0, "node 1": got1} {
+		select {
+		case d := <-ch:
+			if string(d.Body) != "over the wire" || d.Origin != 0 {
+				t.Errorf("%s delivered %+v", name, d)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s never delivered", name)
+		}
+	}
+}
