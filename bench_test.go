@@ -7,7 +7,9 @@ package adaptivecast_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"adaptivecast"
 	"adaptivecast/internal/bayes"
 	"adaptivecast/internal/broadcast"
 	"adaptivecast/internal/config"
@@ -345,6 +347,191 @@ func BenchmarkWireDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchDataMsg builds the shared data-frame fixture for the codec
+// benchmarks: a 100-node tree with its greedy allocation and a small
+// payload.
+func benchDataMsg(b *testing.B) *wire.DataMsg {
+	b.Helper()
+	g, cfg := benchTopology(b, 100, 8)
+	tree, err := mrt.Build(g, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lams, err := tree.Lambdas(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := optimize.Greedy(lams, 0.9999, optimize.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	byNode := make([]int32, tree.NumNodes())
+	for i := 0; i < tree.NumEdges(); i++ {
+		byNode[tree.EdgeChild(i)] = int32(alloc[i])
+	}
+	return &wire.DataMsg{
+		Origin:      0,
+		Seq:         42,
+		Root:        0,
+		Parents:     tree.Parents(),
+		AllocByNode: byNode,
+		Body:        []byte("benchmark payload 0123456789abcdef"),
+	}
+}
+
+// BenchmarkWireEncodeData measures serializing one data frame carrying a
+// 100-node tree and allocation (the live runtime's hottest outbound path).
+func BenchmarkWireEncodeData(b *testing.B) {
+	msg := benchDataMsg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: msg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkSnapshotEncodeGob / BenchmarkWireDecodeGob /
+// BenchmarkWireEncodeDataGob are the legacy-codec baselines for the
+// binary benchmarks above and below; the binary codec must beat them.
+func BenchmarkSnapshotEncodeGob(b *testing.B) {
+	v, err := knowledge.NewView(0, 100, []topology.NodeID{1, 2, 3, 4}, nil, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.BeginPeriod()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.EncodeGob(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: v.Snapshot()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+func BenchmarkWireDecodeGob(b *testing.B) {
+	v, err := knowledge.NewView(0, 100, []topology.NodeID{1, 2, 3, 4}, nil, knowledge.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.BeginPeriod()
+	frame, err := wire.EncodeGob(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: v.Snapshot()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeGob(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeDataGob(b *testing.B) {
+	msg := benchDataMsg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.EncodeGob(&wire.Frame{Kind: wire.FrameData, Data: msg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// benchConvergedCluster builds an n-node random cluster over the
+// in-process fabric and ticks it until node 0's view spans the topology
+// and plans a real MRT (no warm-up flood). It is the fixture for the
+// broadcast-throughput benchmarks.
+func benchConvergedCluster(b *testing.B, n, conn int, disableCache bool) *adaptivecast.Cluster {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	g, err := adaptivecast.RandomConnected(n, conn, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := adaptivecast.NewCluster(adaptivecast.ClusterConfig{
+		Topology:         g,
+		DeliveryBuffer:   8,
+		DisablePlanCache: disableCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = c.Close() })
+	for round := 0; round < 400; round++ {
+		c.Tick()
+		time.Sleep(time.Millisecond) // let the fabric deliver the heartbeats
+		if len(c.KnownLinks(0)) != g.NumLinks() {
+			continue
+		}
+		before := c.Stats(0).FallbackFloods
+		if _, _, err := c.Broadcast(0, []byte("probe")); err != nil {
+			b.Fatal(err)
+		}
+		if c.Stats(0).FallbackFloods == before {
+			return c
+		}
+	}
+	b.Fatal("cluster never converged to a plannable view")
+	return nil
+}
+
+// BenchmarkBroadcast measures end-to-end broadcast initiation throughput
+// on a converged 32-node cluster: repeated same-view broadcasts from one
+// node (plan + encode + hand-off to the transport).
+func BenchmarkBroadcast(b *testing.B) {
+	c := benchConvergedCluster(b, 32, 4, false)
+	body := []byte("broadcast payload 0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Broadcast(0, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastNoPlanCache is BenchmarkBroadcast with the plan cache
+// disabled — every broadcast rebuilds the MRT and allocation, isolating
+// the cache's contribution to the headline number.
+func BenchmarkBroadcastNoPlanCache(b *testing.B) {
+	c := benchConvergedCluster(b, 32, 4, true)
+	body := []byte("broadcast payload 0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Broadcast(0, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastParallel is BenchmarkBroadcast with concurrent
+// broadcasters on the same node, measuring lock contention on the
+// broadcast path.
+func BenchmarkBroadcastParallel(b *testing.B) {
+	c := benchConvergedCluster(b, 32, 4, false)
+	body := []byte("broadcast payload 0123456789abcdef")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := c.Broadcast(0, body); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkGossipMeanField measures the analytic fixed-step predictor on

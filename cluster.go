@@ -29,6 +29,9 @@ type ClusterConfig struct {
 	// Piggyback attaches knowledge snapshots to data frames on every
 	// node (Section 4.1's bandwidth optimization).
 	Piggyback bool
+	// DisablePlanCache forces every broadcast on every node to replan
+	// from the current view (see WithPlanCache; mainly for benchmarks).
+	DisablePlanCache bool
 }
 
 // Cluster is a thin convenience layer over Node: one node per process of
@@ -78,6 +81,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.Piggyback {
 			opts = append(opts, WithPiggyback())
 		}
+		if cfg.DisablePlanCache {
+			opts = append(opts, WithPlanCache(false))
+		}
 		nd, err := NewNode(fabric.Endpoint(id), n, cfg.Topology.Neighbors(id), opts...)
 		if err != nil {
 			_ = fabric.Close()
@@ -120,15 +126,14 @@ func (c *Cluster) Tick() {
 
 // Broadcast reliably broadcasts body from the given node. It returns the
 // broadcast sequence number and the planned data-message count Σ m[j].
+// Like Node.Broadcast, a transport failure after initiation returns the
+// consumed seq alongside the error (seq 0 means nothing was initiated).
 func (c *Cluster) Broadcast(from NodeID, body []byte) (seq uint64, planned int, err error) {
 	if from < 0 || int(from) >= len(c.nodes) {
 		return 0, 0, fmt.Errorf("adaptivecast: node %d out of range", from)
 	}
 	r, err := c.nodes[from].Broadcast(body)
-	if err != nil {
-		return 0, 0, err
-	}
-	return r.Seq, r.Planned, nil
+	return r.Seq, r.Planned, err
 }
 
 // Deliveries returns the delivery channel of one node. Do not mix with

@@ -59,3 +59,31 @@ func midsEqual(a, b []float64) bool {
 	}
 	return true
 }
+
+// HasUniformMids reports whether the state's midpoints are exactly the
+// standard uniform grid for their count ((2i+1)/2U) — the common case for
+// every estimator that was never refined. Serializers use this to omit
+// the midpoints entirely and ship only the interval count. The midpoints
+// are recomputed with the same expression uniformMids uses (bit-exact),
+// so this takes no lock and exits on the first refined midpoint.
+func (s State) HasUniformMids() bool {
+	u := len(s.Mids)
+	for i, m := range s.Mids {
+		if m != float64(2*i+1)/float64(2*u) {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformGridMids returns the midpoints of the standard uniform grid with
+// u intervals. The returned slice is shared across callers and must be
+// treated as read-only.
+func UniformGridMids(u int) []float64 {
+	if u < 2 {
+		// Degenerate counts never correspond to a usable estimator; build
+		// them privately instead of polluting the memoized grid table.
+		return uniformMids(u)
+	}
+	return uniformGrid(u).mid
+}

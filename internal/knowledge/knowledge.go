@@ -227,6 +227,7 @@ type View struct {
 	links    []*linkState // indexed by interner index; nil = unknown link
 	neighbor []bool       // direct neighbors of self
 	selfSeq  uint64       // heartbeat sequencer C_k[p_k].seq
+	version  uint64       // monotonic mutation counter, see Version
 }
 
 // NewView builds the initial view of process self in a system of n
@@ -285,6 +286,13 @@ func (v *View) NumProcs() int { return v.n }
 // SelfSeq returns the current heartbeat sequence number.
 func (v *View) SelfSeq() uint64 { return v.selfSeq }
 
+// Version returns a monotonic counter that advances whenever the view's
+// estimates change: BeginPeriod, OnRecover, and every merge that adopted
+// at least one estimate or learned a link. Consumers that derive
+// expensive artifacts from the view (the node's broadcast plan cache)
+// compare versions to reuse results across unchanged views.
+func (v *View) Version() uint64 { return v.version }
+
 // Interner exposes the link index table (shared in simulations).
 func (v *View) Interner() *Interner { return v.interner }
 
@@ -310,6 +318,7 @@ func (v *View) KnownLinks() []topology.Link {
 // current view (directly or via Snapshot) and send it to all neighbors.
 func (v *View) BeginPeriod() {
 	v.selfSeq++
+	v.version++
 	v.procs[v.self].mutable().ObserveSuccess(1) // Event 3: ∆tick = δ
 	if v.params.AutoRefine && v.selfSeq%uint64(v.params.refineEvery) == 0 {
 		v.maybeRefine()
@@ -393,6 +402,7 @@ func (v *View) linkTo(j topology.NodeID) *linkState {
 // lasted missedTicks heartbeat periods; its self-reliability belief is
 // decreased proportionally.
 func (v *View) OnRecover(missedTicks int) {
+	v.version++
 	v.procs[v.self].mutable().ObserveFailure(missedTicks)
 }
 
@@ -405,6 +415,9 @@ func (v *View) MergeFrom(from topology.NodeID, senderSeq uint64, src *View) erro
 	if src.interner != v.interner {
 		return fmt.Errorf("knowledge: MergeFrom requires a shared interner; use MergeSnapshot")
 	}
+	// reconcileLink always books fresh link evidence, so the view changed
+	// regardless of whether any estimate was adopted.
+	v.version++
 	v.reconcileLink(from, senderSeq)
 	v.mergeEstimates(src)
 	return nil
@@ -420,16 +433,25 @@ func (v *View) MergeKnowledgeOnly(src *View) error {
 	if src.interner != v.interner {
 		return fmt.Errorf("knowledge: MergeKnowledgeOnly requires a shared interner")
 	}
-	v.mergeEstimates(src)
+	if v.mergeEstimates(src) {
+		// Knowledge-only merges change the view only when something was
+		// actually adopted — piggybacked duplicates that carry nothing new
+		// must not invalidate derived plan caches.
+		v.version++
+	}
 	return nil
 }
 
 // mergeEstimates applies selectBestEstimate across all process and link
-// estimates and merges topology knowledge (Algorithm 4 lines 26–33).
-func (v *View) mergeEstimates(src *View) {
+// estimates and merges topology knowledge (Algorithm 4 lines 26–33). It
+// reports whether any estimate was adopted or link learned.
+func (v *View) mergeEstimates(src *View) bool {
+	changed := false
 	// Processes: take the most accurate estimate for each (Algorithm 3).
 	for i := range v.procs {
-		v.adoptProc(&v.procs[i], &src.procs[i])
+		if v.adoptProc(&v.procs[i], &src.procs[i]) {
+			changed = true
+		}
 	}
 
 	// Links: for common links take the best estimate; adopt new links
@@ -443,6 +465,7 @@ func (v *View) mergeEstimates(src *View) {
 		if mine == nil {
 			theirs.shared = true
 			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist)}
+			changed = true
 			continue
 		}
 		if theirs.dist < mine.dist {
@@ -450,24 +473,28 @@ func (v *View) mergeEstimates(src *View) {
 			mine.est = theirs.est
 			mine.shared = true
 			mine.dist = bump(theirs.dist)
+			changed = true
 		}
 	}
+	return changed
 }
 
-// adoptProc applies selectBestEstimate to one process estimate pair.
-// Adoption shares the estimator object copy-on-write (see procState);
-// sequence numbers, suspicion counters and timeouts are local
-// observations about the *neighbor link*, not part of the propagated
-// estimate, and are never adopted.
-func (v *View) adoptProc(mine, theirs *procState) {
+// adoptProc applies selectBestEstimate to one process estimate pair,
+// reporting whether the peer's estimate won. Adoption shares the
+// estimator object copy-on-write (see procState); sequence numbers,
+// suspicion counters and timeouts are local observations about the
+// *neighbor link*, not part of the propagated estimate, and are never
+// adopted.
+func (v *View) adoptProc(mine, theirs *procState) bool {
 	if theirs.dist >= mine.dist {
-		return
+		return false
 	}
 	theirs.shared = true
 	mine.est = theirs.est
 	mine.shared = true
 	mine.dist = bump(theirs.dist)
 	mine.sinceUpdate = 0
+	return true
 }
 
 // bump increments a distortion, saturating at DistInf.

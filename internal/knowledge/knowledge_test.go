@@ -763,3 +763,74 @@ func TestDistortionMatchesDistance(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionAdvancesOnMutation pins the contract the node's plan cache
+// depends on: Version moves exactly when the view's estimates change.
+func TestVersionAdvancesOnMutation(t *testing.T) {
+	a, b := newPair(t)
+	if a.Version() != 0 {
+		t.Fatalf("fresh view version = %d, want 0", a.Version())
+	}
+
+	v0 := a.Version()
+	a.BeginPeriod()
+	if a.Version() <= v0 {
+		t.Error("BeginPeriod must advance the version")
+	}
+
+	v1 := a.Version()
+	a.OnRecover(3)
+	if a.Version() <= v1 {
+		t.Error("OnRecover must advance the version")
+	}
+
+	// A heartbeat merge always books link evidence, so it always bumps.
+	b.BeginPeriod()
+	v2 := a.Version()
+	if err := a.MergeFrom(1, b.SelfSeq(), b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() <= v2 {
+		t.Error("MergeFrom must advance the version")
+	}
+
+	// Snapshot paths: a snapshot carrying news bumps; one carrying no
+	// records adopts nothing and must leave the version alone.
+	snap := b.Snapshot()
+	v3 := a.Version()
+	if err := a.MergeSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() <= v3 {
+		t.Error("MergeSnapshot must advance the version")
+	}
+	v4 := a.Version()
+	if err := a.MergeSnapshotKnowledgeOnly(&Snapshot{From: 1, Seq: snap.Seq}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() != v4 {
+		t.Errorf("no-news knowledge-only merge moved version %d -> %d", v4, a.Version())
+	}
+
+	// A snapshot with genuinely better (less distorted) estimates bumps
+	// the knowledge-only path too.
+	b.BeginPeriod()
+	v5 := a.Version()
+	if err := a.MergeSnapshotKnowledgeOnly(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() <= v5 {
+		t.Error("knowledge-only merge with news must advance the version")
+	}
+
+	// Reads do not bump.
+	v6 := a.Version()
+	a.CrashEstimate(1)
+	a.KnownLinks()
+	if _, _, err := a.EstimatedConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() != v6 {
+		t.Error("reads must not advance the version")
+	}
+}

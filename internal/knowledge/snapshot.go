@@ -67,8 +67,12 @@ func (v *View) MergeSnapshot(s *Snapshot) error {
 	if err := v.checkSnapshot(s); err != nil {
 		return err
 	}
+	// reconcileLink always books fresh link evidence for the sender's
+	// link, so the view changed even when no estimate was adopted.
+	v.version++
 	v.reconcileLink(s.From, s.Seq)
-	return v.mergeSnapshotEstimates(s)
+	_, err := v.mergeSnapshotEstimates(s)
+	return err
 }
 
 // MergeSnapshotKnowledgeOnly merges a snapshot's estimates and topology
@@ -80,7 +84,13 @@ func (v *View) MergeSnapshotKnowledgeOnly(s *Snapshot) error {
 	if err := v.checkSnapshot(s); err != nil {
 		return err
 	}
-	return v.mergeSnapshotEstimates(s)
+	changed, err := v.mergeSnapshotEstimates(s)
+	if changed {
+		// Bump only on adoption: piggybacked duplicates carrying nothing
+		// new must not invalidate derived plan caches.
+		v.version++
+	}
+	return err
 }
 
 // checkSnapshot validates the snapshot header.
@@ -95,11 +105,12 @@ func (v *View) checkSnapshot(s *Snapshot) error {
 }
 
 // mergeSnapshotEstimates applies selectBestEstimate over a snapshot's
-// process and link records (Algorithm 4 lines 26–33, wire path).
-func (v *View) mergeSnapshotEstimates(s *Snapshot) error {
+// process and link records (Algorithm 4 lines 26–33, wire path),
+// reporting whether any estimate was adopted or link learned.
+func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 	for _, pr := range s.Procs {
 		if pr.ID < 0 || int(pr.ID) >= v.n {
-			return fmt.Errorf("knowledge: snapshot names unknown process %d", pr.ID)
+			return changed, fmt.Errorf("knowledge: snapshot names unknown process %d", pr.ID)
 		}
 		mine := &v.procs[pr.ID]
 		if pr.Dist >= mine.dist {
@@ -107,17 +118,18 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) error {
 		}
 		est, err := bayes.NewFromState(pr.Est)
 		if err != nil {
-			return fmt.Errorf("knowledge: process %d estimate: %w", pr.ID, err)
+			return changed, fmt.Errorf("knowledge: process %d estimate: %w", pr.ID, err)
 		}
 		mine.est = est // freshly decoded: exclusively ours
 		mine.shared = false
 		mine.dist = bump(pr.Dist)
 		mine.sinceUpdate = 0
+		changed = true
 	}
 
 	for _, lr := range s.Links {
 		if lr.Link.A < 0 || int(lr.Link.B) >= v.n || lr.Link.A == lr.Link.B {
-			return fmt.Errorf("knowledge: snapshot carries invalid link %v", lr.Link)
+			return changed, fmt.Errorf("knowledge: snapshot carries invalid link %v", lr.Link)
 		}
 		idx := v.interner.Intern(topology.NewLink(lr.Link.A, lr.Link.B))
 		v.ensureLinks(idx)
@@ -125,9 +137,10 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) error {
 		if mine == nil {
 			est, err := bayes.NewFromState(lr.Est)
 			if err != nil {
-				return fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
+				return changed, fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
 			}
 			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist)}
+			changed = true
 			continue
 		}
 		if lr.Dist >= mine.dist {
@@ -135,11 +148,12 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) error {
 		}
 		est, err := bayes.NewFromState(lr.Est)
 		if err != nil {
-			return fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
+			return changed, fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
 		}
 		mine.est = est // freshly decoded: exclusively ours
 		mine.shared = false
 		mine.dist = bump(lr.Dist)
+		changed = true
 	}
-	return nil
+	return changed, nil
 }

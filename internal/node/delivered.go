@@ -1,0 +1,129 @@
+package node
+
+import (
+	"sync"
+
+	"adaptivecast/internal/topology"
+)
+
+// deliveredSet is the volatile per-incarnation dedup state of Algorithm 1
+// line 5 ("if m was not delivered before"), with its own lock so the
+// receive path never contends with broadcast planning.
+//
+// Broadcast sequence numbers are originator-local and start at 1, and a
+// working network delivers almost all of them, so instead of one map
+// entry per broadcast forever (unbounded growth under sustained traffic)
+// the set keeps, per origin, a contiguous watermark w — every seq in
+// [1, w] was seen — plus a small overflow set for out-of-order seqs above
+// it. Marking w+1 advances the watermark through the overflow, so steady
+// traffic keeps the overflow near-empty and memory O(origins + reorder
+// window). Seq 0 is reserved by the wire format (frames carrying it are
+// rejected at decode) and reads as already-seen here.
+//
+// A gap that never closes — the origin's sequencer resumed past a crash,
+// or a broadcast was wholly lost (the reliability target is K, not 1) —
+// must not regrow an entry per broadcast forever, so the overflow is
+// hard-capped at maxOverflow entries per origin: on overflow the
+// watermark is forced up to the oldest buffered seq, conceding that
+// anything below it will never arrive. A straggler older than the cap's
+// reorder window would be wrongly suppressed, which is the same
+// best-effort trade the transport already makes.
+type deliveredSet struct {
+	mu        sync.Mutex
+	watermark map[topology.NodeID]uint64
+	overflow  map[topology.NodeID]map[uint64]struct{}
+}
+
+// maxOverflow bounds the per-origin out-of-order buffer (~16 B/entry).
+const maxOverflow = 1 << 12
+
+func newDeliveredSet() *deliveredSet {
+	return &deliveredSet{
+		watermark: make(map[topology.NodeID]uint64),
+		overflow:  make(map[topology.NodeID]map[uint64]struct{}),
+	}
+}
+
+// mark records (origin, seq) and reports whether this was its first
+// sighting.
+func (s *deliveredSet) mark(origin topology.NodeID, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.watermark[origin]
+	if seq <= w {
+		return false
+	}
+	over := s.overflow[origin]
+	if _, dup := over[seq]; dup {
+		return false
+	}
+	if seq == w+1 {
+		// Contiguous: advance the watermark through any overflow run.
+		w++
+		for {
+			if _, ok := over[w+1]; !ok {
+				break
+			}
+			delete(over, w+1)
+			w++
+		}
+		s.watermark[origin] = w
+		if len(over) == 0 {
+			delete(s.overflow, origin)
+		}
+		return true
+	}
+	if over == nil {
+		over = make(map[uint64]struct{})
+		s.overflow[origin] = over
+	}
+	over[seq] = struct{}{}
+	if len(over) > maxOverflow {
+		// The gap below the buffered seqs is not closing; force the
+		// watermark up to the oldest buffered seq and absorb the
+		// contiguous run above it, keeping memory bounded.
+		min := seq
+		for q := range over {
+			if q < min {
+				min = q
+			}
+		}
+		delete(over, min)
+		w = min
+		for {
+			if _, ok := over[w+1]; !ok {
+				break
+			}
+			delete(over, w+1)
+			w++
+		}
+		s.watermark[origin] = w
+		if len(over) == 0 {
+			delete(s.overflow, origin)
+		}
+	}
+	return true
+}
+
+// seen reports whether (origin, seq) was marked, without marking it.
+func (s *deliveredSet) seen(origin topology.NodeID, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.watermark[origin] {
+		return true
+	}
+	_, ok := s.overflow[origin][seq]
+	return ok
+}
+
+// pending returns the number of out-of-order seqs currently buffered
+// above the watermarks (test hook for the compaction invariant).
+func (s *deliveredSet) pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, over := range s.overflow {
+		n += len(over)
+	}
+	return n
+}

@@ -5,14 +5,23 @@
 // node share every algorithmic component (knowledge, mrt, optimize), so
 // the two cannot drift apart; the node adds timers, serialization,
 // stable-storage crash accounting and delivery plumbing.
+//
+// Concurrency is lock-split so the datapath scales with broadcast rate:
+// the knowledge view has its own mutex (heartbeat merges and ticks),
+// the dedup set has its own (inbound data), the broadcast plan cache has
+// its own (outbound data), and every counter is an atomic — Broadcast,
+// handleData and Tick never serialize on one global lock.
 package node
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adaptivecast/internal/config"
 	"adaptivecast/internal/dedup"
 	"adaptivecast/internal/knowledge"
 	"adaptivecast/internal/mrt"
@@ -45,6 +54,42 @@ type Stats struct {
 	FallbackFloods     int // broadcasts flooded for lack of a connected view
 	DecodeErrors       int
 	LogErrors          int // dedup-log write failures (delivery degrades to at-least-once)
+	PlanCacheHits      int // broadcasts that reused the cached (tree, allocation) plan
+	PlanCacheMisses    int // broadcasts that had to replan because the view changed
+}
+
+// counters is the runtime's internal, atomically updated form of Stats,
+// so hot paths never take a lock to count an event.
+type counters struct {
+	heartbeatsSent     atomic.Int64
+	heartbeatsReceived atomic.Int64
+	dataSent           atomic.Int64
+	dataReceived       atomic.Int64
+	delivered          atomic.Int64
+	droppedDeliveries  atomic.Int64
+	suppressedReplays  atomic.Int64
+	fallbackFloods     atomic.Int64
+	decodeErrors       atomic.Int64
+	logErrors          atomic.Int64
+	planCacheHits      atomic.Int64
+	planCacheMisses    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		HeartbeatsSent:     int(c.heartbeatsSent.Load()),
+		HeartbeatsReceived: int(c.heartbeatsReceived.Load()),
+		DataSent:           int(c.dataSent.Load()),
+		DataReceived:       int(c.dataReceived.Load()),
+		Delivered:          int(c.delivered.Load()),
+		DroppedDeliveries:  int(c.droppedDeliveries.Load()),
+		SuppressedReplays:  int(c.suppressedReplays.Load()),
+		FallbackFloods:     int(c.fallbackFloods.Load()),
+		DecodeErrors:       int(c.decodeErrors.Load()),
+		LogErrors:          int(c.logErrors.Load()),
+		PlanCacheHits:      int(c.planCacheHits.Load()),
+		PlanCacheMisses:    int(c.planCacheMisses.Load()),
+	}
 }
 
 // Hooks are optional instrumentation callbacks. They are invoked
@@ -60,7 +105,8 @@ type Hooks struct {
 	// OnTreeRebuild fires when a broadcast plans a fresh Maximum
 	// Reliability Tree from the current view, with the broadcast's
 	// sequence number, the tree's edge count, and the planned data-message
-	// total Σ m[j]. Warm-up floods do not rebuild a tree and do not fire.
+	// total Σ m[j]. Broadcasts served from the plan cache reuse the prior
+	// tree and do not fire, and warm-up floods plan no tree at all.
 	OnTreeRebuild func(seq uint64, edges, planned int)
 }
 
@@ -96,6 +142,10 @@ type Config struct {
 	// DeliveryBuffer sizes the delivery channel (default 128). When the
 	// application lags, further deliveries are dropped and counted.
 	DeliveryBuffer int
+	// DisablePlanCache turns off the broadcast plan cache, forcing every
+	// broadcast to rebuild the MRT and allocation from the current view
+	// (the pre-cache behavior; useful for benchmarks and debugging).
+	DisablePlanCache bool
 	// Hooks are optional instrumentation callbacks.
 	Hooks Hooks
 	// Now injects a clock for tests (default time.Now).
@@ -118,10 +168,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// msgKey dedups broadcasts.
-type msgKey struct {
-	origin topology.NodeID
-	seq    uint64
+// plan is one immutable broadcast plan derived from a view: the MRT, its
+// wire form, the greedy allocation keyed by child node, and the planned
+// message total — or the error that kept the view from planning (cached
+// too, so repeated warm-up broadcasts don't re-derive the failure).
+// Plans are shared across broadcasts; no field is ever mutated.
+type plan struct {
+	tree    *mrt.Tree
+	parents []topology.NodeID
+	alloc   []int32
+	planned int
+	err     error
 }
 
 // Node is one live process.
@@ -129,17 +186,31 @@ type Node struct {
 	cfg Config
 	tr  transport.Transport
 
-	mu        sync.Mutex
-	view      *knowledge.View
-	seq       uint64
-	delivered map[msgKey]bool
-	stats     Stats
-	closed    bool
+	// viewMu guards the knowledge view (heartbeat merges, ticks,
+	// estimate reads). It is never held while sending.
+	viewMu sync.Mutex
+	view   *knowledge.View
+
+	// seq is the broadcast sequencer (atomic: Broadcast never locks it).
+	seq atomic.Uint64
+
+	// delivered dedups inbound broadcasts under its own lock.
+	delivered *deliveredSet
+
+	// planMu guards the cached broadcast plan. Lock order: planMu may
+	// take viewMu; never the reverse.
+	planMu      sync.Mutex
+	cachedPlan  *plan
+	planVersion uint64
+
+	stats counters
+
+	closed  atomic.Bool
+	started atomic.Bool
 
 	deliveries chan Delivery
 	stop       chan struct{}
 	done       chan struct{}
-	started    bool
 	startOnce  sync.Once
 	stopOnce   sync.Once
 }
@@ -166,7 +237,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		cfg:        cfg,
 		tr:         tr,
 		view:       view,
-		delivered:  make(map[msgKey]bool),
+		delivered:  newDeliveredSet(),
 		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -186,7 +257,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.DedupLog != nil {
 		// Resume broadcast sequencing above anything this node originated
 		// before a crash, so post-recovery broadcasts get fresh IDs.
-		n.seq = cfg.DedupLog.MaxSeq(cfg.ID)
+		n.seq.Store(cfg.DedupLog.MaxSeq(cfg.ID))
 	}
 	tr.SetHandler(n.handle)
 	return n, nil
@@ -195,9 +266,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 // Start launches the heartbeat activity. It is idempotent.
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
-		n.mu.Lock()
-		n.started = true
-		n.mu.Unlock()
+		n.started.Store(true)
 		go n.heartbeatLoop()
 	})
 }
@@ -209,15 +278,10 @@ func (n *Node) Start() {
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
-		n.mu.Lock()
-		started := n.started
-		n.mu.Unlock()
-		if started {
+		if n.started.Load() {
 			<-n.done
 		}
-		n.mu.Lock()
-		n.closed = true
-		n.mu.Unlock()
+		n.closed.Store(true)
 	})
 }
 
@@ -228,30 +292,26 @@ func (n *Node) ID() topology.NodeID { return n.cfg.ID }
 func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 
 // Stats returns a snapshot of the node counters.
-func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
+func (n *Node) Stats() Stats { return n.stats.snapshot() }
 
 // CrashEstimate reads the node's current estimate of process i.
 func (n *Node) CrashEstimate(i topology.NodeID) (mean float64, dist int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
 	return n.view.CrashEstimate(i)
 }
 
 // LossEstimate reads the node's current estimate of link l.
 func (n *Node) LossEstimate(l topology.Link) (mean float64, dist int, ok bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
 	return n.view.LossEstimate(l)
 }
 
 // KnownLinks reports the links the node has discovered.
 func (n *Node) KnownLinks() []topology.Link {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
 	return n.view.KnownLinks()
 }
 
@@ -275,14 +335,13 @@ func (n *Node) heartbeatLoop() {
 // exported so tests and deterministic drivers can pace the node without
 // real time.
 func (n *Node) Tick() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return
 	}
+	n.viewMu.Lock()
 	n.view.BeginPeriod()
 	snap := n.view.Snapshot()
-	n.mu.Unlock()
+	n.viewMu.Unlock()
 
 	if n.cfg.Storage != nil {
 		// A failed mark is not fatal: it only degrades the crash
@@ -300,9 +359,7 @@ func (n *Node) Tick() {
 			sent++
 		}
 	}
-	n.mu.Lock()
-	n.stats.HeartbeatsSent += sent
-	n.mu.Unlock()
+	n.stats.heartbeatsSent.Add(int64(sent))
 }
 
 // Broadcast initiates a reliable broadcast (Algorithm 1). It returns the
@@ -310,49 +367,106 @@ func (n *Node) Tick() {
 // (Σ m[j]); when the current view cannot produce a spanning MRT yet, the
 // message is flooded to the neighbors instead and planned is the flood
 // fan-out.
+//
+// On a send failure the broadcast is already partially in effect — the
+// local delivery was queued and the sequence number consumed — so the
+// real seq (and planned count) is returned alongside the error, letting
+// callers dedup a half-sent broadcast instead of retrying it blind.
 func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return 0, 0, errors.New("node: stopped")
 	}
-	n.seq++
-	seq = n.seq
-	key := msgKey{origin: n.cfg.ID, seq: seq}
-	n.delivered[key] = true
-	n.stats.Delivered++
+	seq = n.seq.Add(1)
+	n.delivered.mark(n.cfg.ID, seq)
+	n.stats.delivered.Add(1)
 	if n.cfg.DedupLog != nil {
 		if _, err := n.cfg.DedupLog.Record(dedup.ID{Origin: n.cfg.ID, Seq: seq}); err != nil {
-			n.stats.LogErrors++
+			n.stats.logErrors.Add(1)
 		}
 	}
 
 	msg := &wire.DataMsg{Origin: n.cfg.ID, Seq: seq, Root: n.cfg.ID, Body: body}
-	tree, alloc, planErr := n.planLocked()
-	if planErr == nil {
-		msg.Parents = tree.Parents()
-		msg.AllocByNode = allocByNode(tree, alloc)
-		planned = optimize.Total(alloc)
+	p, fresh := n.currentPlan()
+	if p.err == nil {
+		msg.Parents = p.parents
+		msg.AllocByNode = p.alloc
+		planned = p.planned
+		if fresh && n.cfg.Hooks.OnTreeRebuild != nil {
+			n.cfg.Hooks.OnTreeRebuild(seq, p.tree.NumEdges(), planned)
+		}
 	} else {
-		n.stats.FallbackFloods++
+		n.stats.fallbackFloods.Add(1)
 		planned = len(n.cfg.Neighbors)
-	}
-	n.mu.Unlock()
-
-	if planErr == nil && n.cfg.Hooks.OnTreeRebuild != nil {
-		n.cfg.Hooks.OnTreeRebuild(seq, tree.NumEdges(), planned)
 	}
 	n.pushDelivery(Delivery{Origin: n.cfg.ID, Seq: seq, From: n.cfg.ID, Body: body})
 
-	if planErr == nil {
-		err = n.forward(tree, msg)
+	if p.err == nil {
+		err = n.forward(p.tree, msg)
 	} else {
 		err = n.flood(msg)
 	}
-	if err != nil {
-		return 0, 0, err
+	return seq, planned, err
+}
+
+// currentPlan returns the broadcast plan for the node's current view,
+// reusing the cached plan while the view's version is unchanged. fresh
+// reports whether this call built the plan (the OnTreeRebuild hook fires
+// only then).
+func (n *Node) currentPlan() (p *plan, fresh bool) {
+	if n.cfg.DisablePlanCache {
+		n.viewMu.Lock()
+		g, c, err := n.view.EstimatedConfig()
+		n.viewMu.Unlock()
+		return buildPlan(g, c, err, n.cfg.ID, n.cfg.K), true
 	}
-	return seq, planned, nil
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	n.viewMu.Lock()
+	ver := n.view.Version()
+	if n.cachedPlan != nil && n.planVersion == ver {
+		n.viewMu.Unlock()
+		n.stats.planCacheHits.Add(1)
+		return n.cachedPlan, false
+	}
+	// Materialize (G, C) under the view lock, then build the tree and
+	// allocation on the private copy with the view lock released, so a
+	// rebuild never blocks heartbeat merges.
+	g, c, err := n.view.EstimatedConfig()
+	n.viewMu.Unlock()
+	n.stats.planCacheMisses.Add(1)
+	p = buildPlan(g, c, err, n.cfg.ID, n.cfg.K)
+	n.cachedPlan, n.planVersion = p, ver
+	return p, true
+}
+
+// buildPlan derives (MRT, allocation) from a materialized estimated
+// configuration.
+func buildPlan(g *topology.Graph, c *config.Config, err error, root topology.NodeID, k float64) *plan {
+	if err != nil {
+		return &plan{err: err}
+	}
+	tree, err := mrt.Build(g, c, root)
+	if err != nil {
+		return &plan{err: err}
+	}
+	lams, err := tree.Lambdas(c)
+	if err != nil {
+		return &plan{err: err}
+	}
+	alloc, err := optimize.Greedy(lams, k, optimize.Options{})
+	if err != nil {
+		return &plan{err: err}
+	}
+	byNode, err := allocByNode(tree, alloc)
+	if err != nil {
+		return &plan{err: err}
+	}
+	return &plan{
+		tree:    tree,
+		parents: tree.Parents(),
+		alloc:   byNode,
+		planned: optimize.Total(alloc),
+	}
 }
 
 // encodeData serializes a data message, attaching this node's current
@@ -361,86 +475,89 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 func (n *Node) encodeData(msg *wire.DataMsg) ([]byte, error) {
 	if n.cfg.Piggyback {
 		cp := *msg
-		n.mu.Lock()
+		n.viewMu.Lock()
 		cp.Piggyback = n.view.Snapshot()
-		n.mu.Unlock()
+		n.viewMu.Unlock()
 		msg = &cp
 	}
 	return wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: msg})
 }
 
-// planLocked builds (MRT, allocation) from the current view. Callers hold
-// n.mu.
-func (n *Node) planLocked() (*mrt.Tree, []int, error) {
-	g, cfg, err := n.view.EstimatedConfig()
-	if err != nil {
-		return nil, nil, err
-	}
-	tree, err := mrt.Build(g, cfg, n.cfg.ID)
-	if err != nil {
-		return nil, nil, err
-	}
-	lams, err := tree.Lambdas(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	alloc, err := optimize.Greedy(lams, n.cfg.K, optimize.Options{})
-	if err != nil {
-		return nil, nil, err
-	}
-	return tree, alloc, nil
-}
-
 // allocByNode re-keys an edge-indexed allocation by child node for the
-// wire format.
-func allocByNode(tree *mrt.Tree, alloc []int) []int32 {
+// wire format, rejecting allocations that would not survive the int32
+// cast and tree edges that point outside the node range instead of
+// silently truncating either.
+func allocByNode(tree *mrt.Tree, alloc []int) ([]int32, error) {
+	if len(alloc) != tree.NumEdges() {
+		return nil, fmt.Errorf("node: allocation covers %d edges, tree has %d", len(alloc), tree.NumEdges())
+	}
 	out := make([]int32, tree.NumNodes())
 	for i := 0; i < tree.NumEdges(); i++ {
-		out[tree.EdgeChild(i)] = int32(alloc[i])
+		child := tree.EdgeChild(i)
+		if child < 0 || int(child) >= len(out) {
+			return nil, fmt.Errorf("node: tree edge %d leads to out-of-range node %d", i, child)
+		}
+		if alloc[i] < 0 || alloc[i] > math.MaxInt32 {
+			return nil, fmt.Errorf("node: allocation %d for edge %d overflows the wire format", alloc[i], i)
+		}
+		out[child] = int32(alloc[i])
 	}
-	return out
+	return out, nil
 }
 
 // forward pushes the allocated copies to this node's children in the
-// message's tree (Algorithm 1 lines 8–12).
+// message's tree (Algorithm 1 lines 8–12). Individual send failures are
+// tolerated (the protocol's loss model), but when every attempted send
+// fails structurally — closed transport, unknown peers — the broadcast
+// went nowhere and the caller is told.
 func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 	frame, err := n.encodeData(msg)
 	if err != nil {
 		return err
 	}
-	sent := 0
+	attempted, sent := 0, 0
+	var lastErr error
 	for _, child := range tree.Children(n.cfg.ID) {
 		copies := 0
 		if int(child) < len(msg.AllocByNode) {
 			copies = int(msg.AllocByNode[child])
 		}
 		for i := 0; i < copies; i++ {
+			attempted++
 			if err := n.tr.Send(child, frame); err == nil {
 				sent++
+			} else {
+				lastErr = err
 			}
 		}
 	}
-	n.mu.Lock()
-	n.stats.DataSent += sent
-	n.mu.Unlock()
+	n.stats.dataSent.Add(int64(sent))
+	if attempted > 0 && sent == 0 {
+		return fmt.Errorf("node: all %d forwards failed: %w", attempted, lastErr)
+	}
 	return nil
 }
 
-// flood sends one copy to every neighbor (warm-up fallback).
+// flood sends one copy to every neighbor (warm-up fallback). Error
+// semantics match forward.
 func (n *Node) flood(msg *wire.DataMsg) error {
 	frame, err := n.encodeData(msg)
 	if err != nil {
 		return err
 	}
 	sent := 0
+	var lastErr error
 	for _, nb := range n.cfg.Neighbors {
 		if err := n.tr.Send(nb, frame); err == nil {
 			sent++
+		} else {
+			lastErr = err
 		}
 	}
-	n.mu.Lock()
-	n.stats.DataSent += sent
-	n.mu.Unlock()
+	n.stats.dataSent.Add(int64(sent))
+	if len(n.cfg.Neighbors) > 0 && sent == 0 {
+		return fmt.Errorf("node: all %d floods failed: %w", len(n.cfg.Neighbors), lastErr)
+	}
 	return nil
 }
 
@@ -448,22 +565,22 @@ func (n *Node) flood(msg *wire.DataMsg) error {
 func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
 	frame, err := wire.Decode(frameBytes)
 	if err != nil {
-		n.mu.Lock()
-		n.stats.DecodeErrors++
-		n.mu.Unlock()
+		n.stats.decodeErrors.Add(1)
 		return
 	}
 	switch frame.Kind {
 	case wire.FrameHeartbeat:
-		n.mu.Lock()
-		if !n.closed {
-			if err := n.view.MergeSnapshot(frame.Heartbeat); err == nil {
-				n.stats.HeartbeatsReceived++
-			} else {
-				n.stats.DecodeErrors++
-			}
+		if n.closed.Load() {
+			return
 		}
-		n.mu.Unlock()
+		n.viewMu.Lock()
+		err := n.view.MergeSnapshot(frame.Heartbeat)
+		n.viewMu.Unlock()
+		if err == nil {
+			n.stats.heartbeatsReceived.Add(1)
+		} else {
+			n.stats.decodeErrors.Add(1)
+		}
 	case wire.FrameData:
 		n.handleData(from, frame.Data)
 	}
@@ -472,25 +589,23 @@ func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
 // handleData is Algorithm 1 lines 5–7: deliver on first receipt, then
 // keep propagating along the carried tree (or re-flood warm-up messages).
 func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
-	key := msgKey{origin: msg.Origin, seq: msg.Seq}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return
 	}
 	if msg.Piggyback != nil {
 		// Piggybacked knowledge is merged on every copy, duplicates
 		// included: each arrival carries the sender's current view.
-		if err := n.view.MergeSnapshotKnowledgeOnly(msg.Piggyback); err != nil {
-			n.stats.DecodeErrors++
+		n.viewMu.Lock()
+		err := n.view.MergeSnapshotKnowledgeOnly(msg.Piggyback)
+		n.viewMu.Unlock()
+		if err != nil {
+			n.stats.decodeErrors.Add(1)
 		}
 	}
-	if n.delivered[key] {
-		n.mu.Unlock()
+	if !n.delivered.mark(msg.Origin, msg.Seq) {
 		return
 	}
-	n.delivered[key] = true
-	n.stats.DataReceived++
+	n.stats.dataReceived.Add(1)
 	deliver := true
 	if n.cfg.DedupLog != nil {
 		fresh, err := n.cfg.DedupLog.Record(dedup.ID{Origin: msg.Origin, Seq: msg.Seq})
@@ -498,21 +613,17 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 		case err != nil:
 			// Logging failed: deliver anyway (degrade to at-least-once
 			// rather than losing the message) and record the failure.
-			n.stats.LogErrors++
+			n.stats.logErrors.Add(1)
 		case !fresh:
 			// Delivered before a crash in a previous incarnation:
 			// suppress the replay but keep forwarding so the rest of the
 			// tree is still served.
 			deliver = false
-			n.stats.SuppressedReplays++
+			n.stats.suppressedReplays.Add(1)
 		}
 	}
 	if deliver {
-		n.stats.Delivered++
-	}
-	n.mu.Unlock()
-
-	if deliver {
+		n.stats.delivered.Add(1)
 		n.pushDelivery(Delivery{Origin: msg.Origin, Seq: msg.Seq, From: from, Body: msg.Body})
 	}
 
@@ -524,9 +635,7 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 	}
 	tree, err := mrt.FromParents(msg.Root, msg.Parents)
 	if err != nil {
-		n.mu.Lock()
-		n.stats.DecodeErrors++
-		n.mu.Unlock()
+		n.stats.decodeErrors.Add(1)
 		return
 	}
 	if int(n.cfg.ID) >= tree.NumNodes() {
@@ -544,9 +653,7 @@ func (n *Node) pushDelivery(d Delivery) {
 			n.cfg.Hooks.OnDeliver(d)
 		}
 	default:
-		n.mu.Lock()
-		n.stats.DroppedDeliveries++
-		n.mu.Unlock()
+		n.stats.droppedDeliveries.Add(1)
 		if n.cfg.Hooks.OnDrop != nil {
 			n.cfg.Hooks.OnDrop(d)
 		}

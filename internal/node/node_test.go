@@ -35,6 +35,9 @@ func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg
 			if over.DeliveryBuffer != 0 {
 				c.DeliveryBuffer = over.DeliveryBuffer
 			}
+			if over.DisablePlanCache {
+				c.DisablePlanCache = true
+			}
 		}
 		nd, err := New(c, fabric.Endpoint(topology.NodeID(i)))
 		if err != nil {
@@ -435,6 +438,9 @@ func TestDedupLogResumesSequencing(t *testing.T) {
 	}
 	fabric := transport.NewFabric(transport.FabricOptions{})
 	defer func() { _ = fabric.Close() }()
+	// Attach the peer endpoint so sends to it are best-effort drops, not
+	// the all-sends-failed structural error Broadcast now reports.
+	_ = fabric.Endpoint(1)
 	cfg := Config{ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0), DedupLog: dlog}
 	nd, err := New(cfg, fabric.Endpoint(0))
 	if err != nil {
@@ -457,6 +463,7 @@ func TestDedupLogResumesSequencing(t *testing.T) {
 	defer func() { _ = dlog2.Close() }()
 	fabric2 := transport.NewFabric(transport.FabricOptions{})
 	defer func() { _ = fabric2.Close() }()
+	_ = fabric2.Endpoint(1)
 	cfg.DedupLog = dlog2
 	nd2, err := New(cfg, fabric2.Endpoint(0))
 	if err != nil {

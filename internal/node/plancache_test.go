@@ -1,0 +1,266 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// convergedLine3 builds a 3-node line cluster and exchanges enough
+// heartbeats for node 0's view to span the topology.
+func convergedLine3(t *testing.T, cfg func(i int) Config) ([]*Node, *transport.Fabric) {
+	t.Helper()
+	g, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep queues: the compaction test pushes 200 broadcasts × ~7 planned
+	// copies in a burst, which must not overflow the fabric.
+	fabric := transport.NewFabric(transport.FabricOptions{QueueSize: 1 << 14})
+	t.Cleanup(func() { _ = fabric.Close() })
+	nodes := buildCluster(t, g, fabric, cfg)
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	for i := 0; i < 10; i++ {
+		tickAll(nodes)
+	}
+	return nodes, fabric
+}
+
+// TestPlanCacheSameViewHits pins the cache contract: an unchanged view
+// across N broadcasts costs exactly one plan build and N-1 cache hits.
+func TestPlanCacheSameViewHits(t *testing.T) {
+	nodes, _ := convergedLine3(t, nil)
+	nd := nodes[0]
+
+	base := nd.Stats()
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		if _, _, err := nd.Broadcast([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := nd.Stats()
+	if st.FallbackFloods != base.FallbackFloods {
+		t.Fatalf("broadcasts flooded (%d -> %d): view never converged",
+			base.FallbackFloods, st.FallbackFloods)
+	}
+	if got := st.PlanCacheMisses - base.PlanCacheMisses; got != 1 {
+		t.Errorf("plan cache misses = %d, want 1 (single build for an unchanged view)", got)
+	}
+	if got := st.PlanCacheHits - base.PlanCacheHits; got != rounds-1 {
+		t.Errorf("plan cache hits = %d, want %d", got, rounds-1)
+	}
+}
+
+// TestPlanCacheInvalidation verifies both invalidation triggers: the
+// node's own period (BeginPeriod) and a merged neighbor snapshot that
+// changes estimates, each forcing exactly one rebuild.
+func TestPlanCacheInvalidation(t *testing.T) {
+	nodes, _ := convergedLine3(t, nil)
+	nd := nodes[0]
+
+	if _, _, err := nd.Broadcast([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	base := nd.Stats()
+
+	// Own tick: BeginPeriod advances the view version.
+	nd.Tick()
+	if _, _, err := nd.Broadcast([]byte("after-tick")); err != nil {
+		t.Fatal(err)
+	}
+	st := nd.Stats()
+	if got := st.PlanCacheMisses - base.PlanCacheMisses; got != 1 {
+		t.Errorf("misses after own tick = %d, want 1", got)
+	}
+
+	// Neighbor heartbeat: the merged snapshot carries fresher estimates
+	// (node 1 ticked), so the cached plan must be rebuilt.
+	before := nd.Stats()
+	nodes[1].Tick()
+	waitFor(t, func() bool { return nd.Stats().HeartbeatsReceived > before.HeartbeatsReceived },
+		"node 0 never received node 1's heartbeat")
+	if _, _, err := nd.Broadcast([]byte("after-merge")); err != nil {
+		t.Fatal(err)
+	}
+	st = nd.Stats()
+	if got := st.PlanCacheMisses - before.PlanCacheMisses; got != 1 {
+		t.Errorf("misses after merged snapshot = %d, want 1", got)
+	}
+	if got := st.PlanCacheHits - before.PlanCacheHits; got != 0 {
+		t.Errorf("hits after merged snapshot = %d, want 0", got)
+	}
+}
+
+// TestPlanCacheDisabled checks WithPlanCache(false) semantics: every
+// broadcast replans and no cache counters move.
+func TestPlanCacheDisabled(t *testing.T) {
+	nodes, _ := convergedLine3(t, func(i int) Config {
+		return Config{DisablePlanCache: true}
+	})
+	nd := nodes[0]
+
+	base := nd.Stats()
+	for i := 0; i < 3; i++ {
+		if _, _, err := nd.Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := nd.Stats()
+	if st.FallbackFloods != base.FallbackFloods {
+		t.Fatal("broadcasts flooded: view never converged")
+	}
+	if st.PlanCacheHits != base.PlanCacheHits || st.PlanCacheMisses != base.PlanCacheMisses {
+		t.Errorf("cache counters moved with the cache disabled: %+v", st)
+	}
+}
+
+// TestDeliveredWatermarkCompaction checks that sustained in-order traffic
+// leaves no per-broadcast residue in the dedup set (the watermark absorbs
+// contiguous sequences).
+func TestDeliveredWatermarkCompaction(t *testing.T) {
+	nodes, _ := convergedLine3(t, nil)
+	nd := nodes[0]
+	for i := 0; i < 200; i++ {
+		if _, _, err := nd.Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nd.delivered.pending(); got != 0 {
+		t.Errorf("broadcaster dedup overflow = %d entries, want 0 (watermark should absorb contiguous seqs)", got)
+	}
+	waitFor(t, func() bool { return nodes[1].Stats().DataReceived >= 200 },
+		"node 1 never received the broadcasts")
+	if got := nodes[1].delivered.pending(); got != 0 {
+		t.Errorf("receiver dedup overflow = %d entries, want 0", got)
+	}
+}
+
+// TestBroadcastPartialFailureReturnsSeq pins the partial-failure
+// contract: when every send fails after the broadcast was initiated (seq
+// consumed, local delivery queued), the caller gets the real seq with the
+// error so a half-sent broadcast can be deduped instead of retried blind.
+func TestBroadcastPartialFailureReturnsSeq(t *testing.T) {
+	nodes, fabric := convergedLine3(t, nil)
+	nd := nodes[0]
+
+	okSeq, _, err := nd.Broadcast([]byte("healthy"))
+	if err != nil || okSeq == 0 {
+		t.Fatalf("healthy broadcast: seq %d, err %v", okSeq, err)
+	}
+
+	// Kill the transport out from under the (still running) node.
+	if err := fabric.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seq, planned, err := nd.Broadcast([]byte("doomed"))
+	if err == nil {
+		t.Fatal("broadcast over a closed transport must report the send failure")
+	}
+	if seq != okSeq+1 {
+		t.Errorf("failed broadcast seq = %d, want the consumed %d", seq, okSeq+1)
+	}
+	if planned == 0 {
+		t.Errorf("failed broadcast planned = 0, want the planned count")
+	}
+	// The local delivery was still queued before the failure.
+	deliveries := drainDeliveries(nd)
+	found := false
+	for _, d := range deliveries {
+		if d.Origin == nd.ID() && d.Seq == seq {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("local delivery of the failed broadcast never queued")
+	}
+}
+
+func TestDeliveredSetSemantics(t *testing.T) {
+	s := newDeliveredSet()
+	if s.mark(0, 0) {
+		t.Error("seq 0 is reserved and must read as already seen")
+	}
+	if !s.mark(0, 1) || s.mark(0, 1) {
+		t.Error("first sighting true, duplicate false")
+	}
+	// Out of order: 4 and 3 buffer above the watermark, then 2 closes the
+	// gap and the watermark absorbs the whole run.
+	if !s.mark(0, 4) || !s.mark(0, 3) {
+		t.Error("out-of-order first sightings must be fresh")
+	}
+	if s.pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.pending())
+	}
+	if !s.mark(0, 2) {
+		t.Error("gap close must be fresh")
+	}
+	if s.pending() != 0 {
+		t.Errorf("pending after compaction = %d, want 0", s.pending())
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if s.mark(0, seq) {
+			t.Errorf("seq %d must be a duplicate after compaction", seq)
+		}
+		if !s.seen(0, seq) {
+			t.Errorf("seen(%d) = false after marking", seq)
+		}
+	}
+	if s.seen(0, 5) {
+		t.Error("unmarked seq reads as seen")
+	}
+	// Origins are independent.
+	if !s.mark(7, 1) {
+		t.Error("other origin must start fresh")
+	}
+}
+
+// TestDeliveredSetOverflowCap pins the bounded-memory guarantee for a gap
+// that never closes (seq 1 wholly lost): once the overflow hits its cap,
+// the watermark is forced past the gap and memory stops growing.
+func TestDeliveredSetOverflowCap(t *testing.T) {
+	s := newDeliveredSet()
+	// Mark 2..maxOverflow+2, never 1: every seq lands in the overflow.
+	for seq := uint64(2); seq <= maxOverflow+2; seq++ {
+		if !s.mark(0, seq) {
+			t.Fatalf("seq %d must be fresh", seq)
+		}
+		if s.pending() > maxOverflow {
+			t.Fatalf("overflow grew to %d entries, cap is %d", s.pending(), maxOverflow)
+		}
+	}
+	// The forced compaction absorbed the whole contiguous 2..N run.
+	if got := s.pending(); got != 0 {
+		t.Errorf("pending after forced compaction = %d, want 0", got)
+	}
+	if s.mark(0, 2) {
+		t.Error("absorbed seq must stay a duplicate")
+	}
+	// The never-seen seq 1 is conceded as below the watermark.
+	if s.mark(0, 1) {
+		t.Error("gap seq below the forced watermark must read as seen")
+	}
+	if !s.mark(0, maxOverflow+3) {
+		t.Error("the next contiguous seq must be fresh")
+	}
+}

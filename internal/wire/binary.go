@@ -1,0 +1,420 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+)
+
+// Binary framing v1 (see the README "Wire format" section):
+//
+//	[0] magic 0xAC
+//	[1] version (1)
+//	[2] kind (FrameHeartbeat | FrameData)
+//	payload…
+//
+// Integers are varints (unsigned for sequence numbers, lengths and
+// counts; zigzag for node IDs, distortions and allocations, which can be
+// negative sentinels), floats are 8-byte little-endian IEEE 754, byte
+// strings are length-prefixed. A Bayesian estimator whose midpoints are
+// the standard uniform grid — every estimator that was never refined —
+// ships only its interval count; refined grids ship their midpoints
+// explicitly.
+
+const (
+	magic       = 0xAC
+	version     = 1
+	headerSize  = 3
+	flagUniform = 1 << 0 // estimator state: midpoints are the uniform grid
+	flagRefined = 0      // (midpoints explicit; no flag bits set)
+)
+
+// appendUvarint, appendVarint etc. build on the stdlib append helpers; a
+// thin reader with a sticky error handles the inbound direction so the
+// decoder reads straight-line without per-field error plumbing.
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated frame")
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads an element count and bounds it by the bytes still in the
+// frame (every element takes at least one byte), so a hostile length
+// prefix cannot drive a giant allocation.
+func (r *reader) count(what string) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(r.remaining()) {
+		r.fail("%s count %d exceeds frame", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("truncated float")
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(bits)
+}
+
+// floats reads n 8-byte floats, bounds-checked up front.
+func (r *reader) floats(n int, what string) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < 8*n {
+		r.fail("%s: %d floats exceed frame", what, n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out
+}
+
+func (r *reader) bytes(what string) []byte {
+	n := r.count(what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// nodeID decodes a zigzag-encoded topology.NodeID (which may legitimately
+// be the None sentinel inside parent vectors).
+func (r *reader) nodeID() topology.NodeID { return topology.NodeID(r.varint()) }
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendFloats(b []byte, fs []float64) []byte {
+	for _, f := range fs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Estimator state
+// ---------------------------------------------------------------------------
+
+func appendEstimator(b []byte, s *bayes.State) []byte {
+	if s.HasUniformMids() {
+		b = append(b, flagUniform)
+		b = binary.AppendUvarint(b, uint64(len(s.Mids)))
+	} else {
+		b = append(b, flagRefined)
+		b = binary.AppendUvarint(b, uint64(len(s.Mids)))
+		b = appendFloats(b, s.Mids)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.LogBeliefs)))
+	b = appendFloats(b, s.LogBeliefs)
+	return b
+}
+
+func (r *reader) estimator() bayes.State {
+	var s bayes.State
+	flags := r.byte()
+	switch flags {
+	case flagUniform:
+		// Uniform grids ship only the interval count; each belief below is
+		// 8 bytes, so cap the count by the remaining frame the same way
+		// explicit float arrays are capped.
+		u := r.uvarint()
+		if r.err != nil {
+			return s
+		}
+		if u > uint64(r.remaining()/8+1) {
+			r.fail("uniform grid count %d exceeds frame", u)
+			return s
+		}
+		s.Mids = bayes.UniformGridMids(int(u))
+	case flagRefined:
+		n := r.count("midpoints")
+		s.Mids = r.floats(n, "midpoints")
+	default:
+		r.fail("unknown estimator flags %#x", flags)
+		return s
+	}
+	n := r.count("beliefs")
+	s.LogBeliefs = r.floats(n, "beliefs")
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Knowledge snapshots
+// ---------------------------------------------------------------------------
+
+// estimatorSize is a pre-allocation estimate for one serialized
+// estimator. It deliberately over-estimates by counting the midpoints
+// even when the uniform fast path will omit them, so sizing never pays
+// the uniformity check (appendEstimator computes it exactly once).
+func estimatorSize(s *bayes.State) int {
+	return 1 + 2*binary.MaxVarintLen32 + 8*len(s.LogBeliefs) + 8*len(s.Mids)
+}
+
+func snapshotSize(s *knowledge.Snapshot) int {
+	n := 4 * binary.MaxVarintLen64
+	for i := range s.Procs {
+		n += 2*binary.MaxVarintLen64 + estimatorSize(&s.Procs[i].Est)
+	}
+	for i := range s.Links {
+		n += 3*binary.MaxVarintLen64 + estimatorSize(&s.Links[i].Est)
+	}
+	return n
+}
+
+func appendSnapshot(b []byte, s *knowledge.Snapshot) []byte {
+	b = binary.AppendVarint(b, int64(s.From))
+	b = binary.AppendUvarint(b, s.Seq)
+	b = binary.AppendUvarint(b, uint64(len(s.Procs)))
+	for i := range s.Procs {
+		pr := &s.Procs[i]
+		b = binary.AppendVarint(b, int64(pr.ID))
+		b = binary.AppendVarint(b, int64(pr.Dist))
+		b = appendEstimator(b, &pr.Est)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Links)))
+	for i := range s.Links {
+		lr := &s.Links[i]
+		b = binary.AppendVarint(b, int64(lr.Link.A))
+		b = binary.AppendVarint(b, int64(lr.Link.B))
+		b = binary.AppendVarint(b, int64(lr.Dist))
+		b = appendEstimator(b, &lr.Est)
+	}
+	return b
+}
+
+func (r *reader) snapshot() *knowledge.Snapshot {
+	s := &knowledge.Snapshot{
+		From: r.nodeID(),
+		Seq:  r.uvarint(),
+	}
+	nProcs := r.count("proc records")
+	if r.err != nil {
+		return nil
+	}
+	if nProcs > 0 {
+		s.Procs = make([]knowledge.ProcRecord, 0, nProcs)
+	}
+	for i := 0; i < nProcs && r.err == nil; i++ {
+		s.Procs = append(s.Procs, knowledge.ProcRecord{
+			ID:   r.nodeID(),
+			Dist: int(r.varint()),
+			Est:  r.estimator(),
+		})
+	}
+	nLinks := r.count("link records")
+	if r.err != nil {
+		return nil
+	}
+	if nLinks > 0 {
+		s.Links = make([]knowledge.LinkRecord, 0, nLinks)
+	}
+	for i := 0; i < nLinks && r.err == nil; i++ {
+		s.Links = append(s.Links, knowledge.LinkRecord{
+			Link: topology.Link{A: r.nodeID(), B: r.nodeID()},
+			Dist: int(r.varint()),
+			Est:  r.estimator(),
+		})
+	}
+	if r.err != nil {
+		return nil
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Data messages
+// ---------------------------------------------------------------------------
+
+func dataSize(m *DataMsg) int {
+	n := 8*binary.MaxVarintLen64 + len(m.Parents)*binary.MaxVarintLen32 +
+		len(m.AllocByNode)*binary.MaxVarintLen32 + len(m.Body) + 1
+	if m.Piggyback != nil {
+		n += snapshotSize(m.Piggyback)
+	}
+	return n
+}
+
+func appendData(b []byte, m *DataMsg) []byte {
+	b = binary.AppendVarint(b, int64(m.Origin))
+	b = binary.AppendUvarint(b, m.Seq)
+	b = binary.AppendVarint(b, int64(m.Root))
+	b = binary.AppendUvarint(b, uint64(len(m.Parents)))
+	for _, p := range m.Parents {
+		b = binary.AppendVarint(b, int64(p))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.AllocByNode)))
+	for _, a := range m.AllocByNode {
+		b = binary.AppendVarint(b, int64(a))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Body)))
+	b = append(b, m.Body...)
+	if m.Piggyback != nil {
+		b = append(b, 1)
+		b = appendSnapshot(b, m.Piggyback)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func (r *reader) data() *DataMsg {
+	m := &DataMsg{
+		Origin: r.nodeID(),
+		Seq:    r.uvarint(),
+		Root:   r.nodeID(),
+	}
+	nParents := r.count("parents")
+	if nParents > 0 {
+		m.Parents = make([]topology.NodeID, 0, nParents)
+	}
+	for i := 0; i < nParents && r.err == nil; i++ {
+		m.Parents = append(m.Parents, r.nodeID())
+	}
+	nAlloc := r.count("allocations")
+	if nAlloc > 0 {
+		m.AllocByNode = make([]int32, 0, nAlloc)
+	}
+	for i := 0; i < nAlloc && r.err == nil; i++ {
+		v := r.varint()
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			r.fail("allocation %d overflows int32", v)
+			return nil
+		}
+		m.AllocByNode = append(m.AllocByNode, int32(v))
+	}
+	m.Body = r.bytes("body")
+	switch r.byte() {
+	case 0:
+	case 1:
+		m.Piggyback = r.snapshot()
+	default:
+		r.fail("bad piggyback flag")
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+func encodeBinary(f *Frame) ([]byte, error) {
+	size := headerSize
+	switch f.Kind {
+	case FrameHeartbeat:
+		size += snapshotSize(f.Heartbeat)
+	case FrameData:
+		size += dataSize(f.Data)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, magic, version, byte(f.Kind))
+	switch f.Kind {
+	case FrameHeartbeat:
+		b = appendSnapshot(b, f.Heartbeat)
+	case FrameData:
+		b = appendData(b, f.Data)
+	}
+	return b, nil
+}
+
+func decodeBinary(b []byte) (*Frame, error) {
+	if len(b) < headerSize {
+		return nil, errors.New("wire: frame shorter than header")
+	}
+	if b[0] != magic {
+		return nil, fmt.Errorf("wire: bad magic %#x", b[0])
+	}
+	if b[1] != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", b[1])
+	}
+	f := &Frame{Kind: FrameKind(b[2])}
+	r := &reader{b: b, off: headerSize}
+	switch f.Kind {
+	case FrameHeartbeat:
+		f.Heartbeat = r.snapshot()
+	case FrameData:
+		f.Data = r.data()
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-r.off)
+	}
+	return f, nil
+}

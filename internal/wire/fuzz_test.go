@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+)
+
+// seedFrames builds one representative frame of every shape the runtime
+// produces; they seed the fuzz corpus (alongside the committed files under
+// testdata/fuzz) and anchor the round-trip property test.
+func seedFrames(tb testing.TB) []*Frame {
+	tb.Helper()
+	v, err := knowledge.NewView(1, 5, []topology.NodeID{0, 2}, nil, knowledge.Params{Intervals: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v.BeginPeriod()
+	snap := v.Snapshot()
+	return []*Frame{
+		{Kind: FrameHeartbeat, Heartbeat: snap},
+		{Kind: FrameData, Data: &DataMsg{Origin: 2, Seq: 7, Root: 2, Body: []byte("payload")}},
+		{Kind: FrameData, Data: &DataMsg{
+			Origin:      0,
+			Seq:         1,
+			Root:        0,
+			Parents:     []topology.NodeID{topology.None, 0, 0},
+			AllocByNode: []int32{0, 2, 1},
+			Body:        []byte("tree"),
+			Piggyback:   snap,
+		}},
+	}
+}
+
+// estStatesEqual compares estimator states bit-for-bit (NaNs compare
+// equal to themselves so arbitrary decoded floats still round-trip).
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshotsEqual(a, b *knowledge.Snapshot) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.From != b.From || a.Seq != b.Seq ||
+		len(a.Procs) != len(b.Procs) || len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Procs {
+		x, y := &a.Procs[i], &b.Procs[i]
+		if x.ID != y.ID || x.Dist != y.Dist ||
+			!floatsEqual(x.Est.Mids, y.Est.Mids) ||
+			!floatsEqual(x.Est.LogBeliefs, y.Est.LogBeliefs) {
+			return false
+		}
+	}
+	for i := range a.Links {
+		x, y := &a.Links[i], &b.Links[i]
+		if x.Link != y.Link || x.Dist != y.Dist ||
+			!floatsEqual(x.Est.Mids, y.Est.Mids) ||
+			!floatsEqual(x.Est.LogBeliefs, y.Est.LogBeliefs) {
+			return false
+		}
+	}
+	return true
+}
+
+func framesEqual(a, b *Frame) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case FrameHeartbeat:
+		return snapshotsEqual(a.Heartbeat, b.Heartbeat)
+	case FrameData:
+		x, y := a.Data, b.Data
+		if x.Origin != y.Origin || x.Seq != y.Seq || x.Root != y.Root ||
+			!bytes.Equal(x.Body, y.Body) ||
+			len(x.Parents) != len(y.Parents) || len(x.AllocByNode) != len(y.AllocByNode) {
+			return false
+		}
+		for i := range x.Parents {
+			if x.Parents[i] != y.Parents[i] {
+				return false
+			}
+		}
+		for i := range x.AllocByNode {
+			if x.AllocByNode[i] != y.AllocByNode[i] {
+				return false
+			}
+		}
+		return snapshotsEqual(x.Piggyback, y.Piggyback)
+	}
+	return false
+}
+
+// FuzzDecode is the codec's safety net: Decode must never panic on
+// arbitrary bytes, and any frame it accepts must re-encode and re-decode
+// to an identical frame (Decode(Encode(f)) round-trips).
+func FuzzDecode(f *testing.F) {
+	for _, frame := range seedFrames(f) {
+		b, err := Encode(frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic})
+	f.Add([]byte{magic, version, byte(FrameData)})
+	f.Add([]byte{magic, version, byte(FrameHeartbeat), 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return // malformed input rejected without panicking: fine
+		}
+		reencoded, err := Encode(frame)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		again, err := Decode(reencoded)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !framesEqual(frame, again) {
+			t.Fatalf("round-trip drift:\nfirst:  %+v\nsecond: %+v", frame, again)
+		}
+	})
+}
+
+// TestEncodeDecodeRoundTrip pins the round-trip property on the seed
+// frames outside the fuzz engine, so `go test` alone covers it.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, frame := range seedFrames(t) {
+		b, err := Encode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !framesEqual(frame, got) {
+			t.Fatalf("round-trip drift: %+v vs %+v", frame, got)
+		}
+	}
+}

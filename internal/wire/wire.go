@@ -3,10 +3,16 @@
 // (Λ_k, C_k) exchange) and data frames carrying a broadcast payload plus
 // the sender's MRT and per-edge allocation (Algorithm 1's (m, mrt_j)).
 //
-// Encoding is stdlib gob, self-contained per frame. The allocation is
-// keyed by child node (AllocByNode) rather than by edge index, so the
-// receiver may rebuild the tree in any deterministic order without
-// misaligning the counts.
+// Encoding is a compact hand-rolled binary format (see binary.go): a
+// 3-byte versioned header followed by varint-coded integers and raw IEEE
+// 754 floats, with a fast path that ships only the interval count for
+// Bayesian estimators on the standard uniform grid. The previous
+// stdlib-gob codec is retained as EncodeGob/DecodeGob for benchmarks and
+// size comparisons; it is not used on any live path.
+//
+// The allocation is keyed by child node (AllocByNode) rather than by edge
+// index, so the receiver may rebuild the tree in any deterministic order
+// without misaligning the counts.
 package wire
 
 import (
@@ -30,7 +36,9 @@ const (
 
 // DataMsg is one reliable-broadcast data message.
 type DataMsg struct {
-	// Origin and Seq identify the broadcast (dedup key).
+	// Origin and Seq identify the broadcast (dedup key). Seq starts at 1;
+	// the zero value is reserved so receivers can use contiguous-sequence
+	// watermarks for dedup compaction.
 	Origin topology.NodeID
 	Seq    uint64
 	// Root and Parents carry the sender's MRT; an empty Parents means the
@@ -57,8 +65,30 @@ type Frame struct {
 	Data      *DataMsg
 }
 
-// Encode serializes a frame.
+// Encode serializes a frame in the binary wire format.
 func Encode(f *Frame) ([]byte, error) {
+	if err := validate(f); err != nil {
+		return nil, err
+	}
+	return encodeBinary(f)
+}
+
+// Decode parses a frame. Malformed input returns an error, never panics.
+func Decode(b []byte) (*Frame, error) {
+	f, err := decodeBinary(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EncodeGob serializes a frame with the legacy stdlib-gob codec. It is
+// kept only as the baseline for codec benchmarks and size-regression
+// tests; live nodes always speak the binary format.
+func EncodeGob(f *Frame) ([]byte, error) {
 	if err := validate(f); err != nil {
 		return nil, err
 	}
@@ -69,8 +99,8 @@ func Encode(f *Frame) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode parses a frame.
-func Decode(b []byte) (*Frame, error) {
+// DecodeGob parses a legacy gob frame (benchmark baseline only).
+func DecodeGob(b []byte) (*Frame, error) {
 	var f Frame
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
@@ -95,6 +125,9 @@ func validate(f *Frame) error {
 	case FrameData:
 		if f.Data == nil || f.Heartbeat != nil {
 			return errors.New("wire: data frame payload mismatch")
+		}
+		if f.Data.Seq == 0 {
+			return errors.New("wire: data frame sequence must be >= 1")
 		}
 		if len(f.Data.Parents) > 0 && len(f.Data.AllocByNode) != len(f.Data.Parents) {
 			return fmt.Errorf("wire: allocation covers %d nodes, tree has %d",

@@ -114,7 +114,98 @@ func TestValidation(t *testing.T) {
 			t.Errorf("%s: Encode should fail", c.name)
 		}
 	}
-	if _, err := Decode([]byte("not gob")); err == nil {
+	if _, err := Decode([]byte("not a frame")); err == nil {
 		t.Error("garbage should fail to decode")
+	}
+	if _, err := Encode(&Frame{Kind: FrameData, Data: &DataMsg{Origin: 1}}); err == nil {
+		t.Error("data frame with reserved sequence 0 should fail to encode")
+	}
+}
+
+// TestDecodeRejectsTrailingBytes pins the framing invariant that a frame
+// consumes its buffer exactly (length-prefixed transports deliver exact
+// frames; trailing garbage means corruption).
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Encode(&Frame{Kind: FrameData, Data: &DataMsg{Origin: 0, Seq: 1, Root: 0, Body: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(b, 0x00)); err == nil {
+		t.Error("trailing byte should fail to decode")
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Errorf("truncation at %d should fail to decode", cut)
+		}
+	}
+}
+
+// TestRefinedGridRoundTrip covers the slow path: estimators whose grid
+// was re-gridded by AutoRefine carry explicit (non-uniform) midpoints.
+func TestRefinedGridRoundTrip(t *testing.T) {
+	v, err := knowledge.NewView(0, 3, []topology.NodeID{1}, nil, knowledge.Params{
+		Intervals: 10, AutoRefine: true, RefineMinObs: 4, RefineMass: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough one-sided periods for the self-estimate to concentrate and
+	// refine (candidacy is checked every 16 periods), but short of the
+	// next check, where sustained successes would hit the edge-stuck
+	// fallback and re-grid back to uniform.
+	for i := 0; i < 20; i++ {
+		v.BeginPeriod()
+	}
+	snap := v.Snapshot()
+	refined := false
+	for _, pr := range snap.Procs {
+		if !pr.Est.HasUniformMids() {
+			refined = true
+		}
+	}
+	if !refined {
+		t.Fatal("fixture never produced a refined (non-uniform) grid")
+	}
+	b, err := Encode(&Frame{Kind: FrameHeartbeat, Heartbeat: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(&Frame{Kind: FrameHeartbeat, Heartbeat: snap}, f) {
+		t.Fatal("refined snapshot did not round-trip")
+	}
+}
+
+// TestGobCompat keeps the legacy codec alive for benchmarks: both codecs
+// must accept the same frames, and the binary encoding must be strictly
+// smaller for both frame kinds (the size win is an acceptance criterion
+// of the codec change).
+func TestGobCompat(t *testing.T) {
+	for _, frame := range seedFrames(t) {
+		gobBytes, err := EncodeGob(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeGob(gobBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !framesEqual(frame, back) {
+			t.Fatalf("gob round-trip drift for kind %d", frame.Kind)
+		}
+		binBytes, err := Encode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(binBytes) >= len(gobBytes) {
+			t.Errorf("kind %d: binary frame is %dB, gob is %dB — binary must be smaller",
+				frame.Kind, len(binBytes), len(gobBytes))
+		}
+		t.Logf("kind %d: binary %dB vs gob %dB (%.0f%% smaller)",
+			frame.Kind, len(binBytes), len(gobBytes),
+			100*(1-float64(len(binBytes))/float64(len(gobBytes))))
 	}
 }

@@ -212,12 +212,18 @@ func (n *Node) Deliveries() <-chan Delivery { return n.inner.Deliveries() }
 // node's current Maximum Reliability Tree with per-edge retransmission
 // counts meeting the reliability target K, or is flooded to the neighbors
 // while the view cannot produce a spanning tree yet.
+//
+// A non-nil error can accompany a valid Receipt: once the broadcast is
+// initiated (sequence number consumed, local delivery queued), a
+// transport failure reports the receipt of the half-sent broadcast so
+// callers can dedup instead of retrying blind. Receipt.Seq == 0 means
+// nothing was initiated.
 func (n *Node) Broadcast(body []byte) (Receipt, error) {
 	seq, planned, err := n.inner.Broadcast(body)
-	if err != nil {
+	if seq == 0 {
 		return Receipt{}, err
 	}
-	return Receipt{Origin: n.ID(), Seq: seq, Planned: planned}, nil
+	return Receipt{Origin: n.ID(), Seq: seq, Planned: planned}, err
 }
 
 // BroadcastCtx is Broadcast bounded by a context: a context already

@@ -56,7 +56,9 @@ type Observer struct {
 	// buffer was full (also counted in NodeStats.DroppedDeliveries).
 	OnDrop func(Delivery)
 	// OnTreeRebuild fires when a broadcast plans a fresh MRT from the
-	// node's current view. Warm-up floods do not fire it.
+	// node's current view. Broadcasts served from the plan cache reuse
+	// the prior tree and do not fire it, and warm-up floods plan no tree
+	// at all.
 	OnTreeRebuild func(TreeRebuild)
 }
 
@@ -103,6 +105,17 @@ func WithStableStorage(s StableStorage) Option {
 // open for the node's lifetime.
 func WithExactlyOnceLog(l *ExactlyOnceLog) Option {
 	return func(c *nodeConfig) { c.inner.DedupLog = l }
+}
+
+// WithPlanCache enables or disables the broadcast plan cache (default
+// enabled). While enabled, the (MRT, allocation) plan computed for a
+// broadcast is reused by subsequent broadcasts until the node's knowledge
+// view changes — repeated same-view broadcasts cost an amortized cache
+// lookup instead of a full replan. Cache effectiveness is observable via
+// NodeStats.PlanCacheHits / PlanCacheMisses. Disabling it restores the
+// replan-every-broadcast behavior (mainly for benchmarks and debugging).
+func WithPlanCache(enabled bool) Option {
+	return func(c *nodeConfig) { c.inner.DisablePlanCache = !enabled }
 }
 
 // WithDeliveryBuffer sizes the delivery buffer (default 128). When the
