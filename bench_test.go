@@ -1,7 +1,7 @@
 // Benchmarks regenerating every table and figure of the paper (reduced
 // parameter grids with the same shape; run cmd/repro -full for the
-// paper-scale sweeps) plus micro-benchmarks of the hot components. See
-// EXPERIMENTS.md for the paper-vs-measured record.
+// paper-scale sweeps) plus micro-benchmarks of the hot components.
+// Headline numbers are recorded in the README "Performance" section.
 package adaptivecast_test
 
 import (
@@ -17,9 +17,11 @@ import (
 	"adaptivecast/internal/gossip"
 	"adaptivecast/internal/knowledge"
 	"adaptivecast/internal/mrt"
+	"adaptivecast/internal/node"
 	"adaptivecast/internal/optimize"
 	"adaptivecast/internal/sim"
 	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
 	"adaptivecast/internal/wire"
 )
 
@@ -585,5 +587,163 @@ func BenchmarkKnowledgeMerge(b *testing.B) {
 		if err := a.MergeFrom(nb, src.SelfSeq(), src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state datapath benchmarks (delta heartbeats, forwarder cache).
+// ---------------------------------------------------------------------------
+
+// loopEnd is a synchronous in-process transport end: Send invokes the
+// peer's handler inline (no goroutines, no sleeps), which makes heartbeat
+// byte accounting deterministic for the steady-state benchmarks.
+type loopEnd struct {
+	id      topology.NodeID
+	peer    *loopEnd
+	handler transport.Handler
+}
+
+func (e *loopEnd) Local() topology.NodeID         { return e.id }
+func (e *loopEnd) SetHandler(h transport.Handler) { e.handler = h }
+func (e *loopEnd) Close() error                   { return nil }
+func (e *loopEnd) Send(_ topology.NodeID, frame []byte) error {
+	if e.peer.handler != nil {
+		e.peer.handler(e.id, frame)
+	}
+	return nil
+}
+
+// loopPair wires two synchronous ends back to back.
+func loopPair() (*loopEnd, *loopEnd) {
+	a := &loopEnd{id: 0}
+	b := &loopEnd{id: 1}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// BenchmarkHeartbeatSteadyState measures the per-period heartbeat cost of
+// a converged two-node system on the live wire path. The delta/full
+// sub-benchmarks quantify the knowledge-delta win: once estimates
+// converge, delta heartbeats collapse to near-empty frames while full
+// snapshots keep re-shipping the whole (Λ_k, C_k) every period. The
+// hb-bytes/period metric is the acceptance number recorded in the README.
+func BenchmarkHeartbeatSteadyState(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"delta", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			trA, trB := loopPair()
+			mk := func(id topology.NodeID, tr transport.Transport) *node.Node {
+				nd, err := node.New(node.Config{
+					ID:                     id,
+					NumProcs:               2,
+					Neighbors:              []topology.NodeID{1 - id},
+					DisableDeltaHeartbeats: mode.disable,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return nd
+			}
+			n0, n1 := mk(0, trA), mk(1, trB)
+			for i := 0; i < 300; i++ { // converge the estimates
+				n0.Tick()
+				n1.Tick()
+			}
+			start := n0.Stats().HeartbeatBytesSent
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n0.Tick()
+				n1.Tick()
+			}
+			b.StopTimer()
+			spent := n0.Stats().HeartbeatBytesSent - start
+			b.ReportMetric(float64(spent)/float64(b.N), "hb-bytes/period")
+		})
+	}
+}
+
+// fanoutSink is the forwarder benchmark's outbound side: it counts
+// logical sends and implements the BatchSender fast path so a per-child
+// burst costs one call.
+type fanoutSink struct {
+	id      topology.NodeID
+	handler transport.Handler
+	sends   int
+}
+
+func (s *fanoutSink) Local() topology.NodeID         { return s.id }
+func (s *fanoutSink) SetHandler(h transport.Handler) { s.handler = h }
+func (s *fanoutSink) Close() error                   { return nil }
+func (s *fanoutSink) Send(topology.NodeID, []byte) error {
+	s.sends++
+	return nil
+}
+func (s *fanoutSink) SendN(_ topology.NodeID, _ []byte, n int) error {
+	s.sends += n
+	return nil
+}
+
+// BenchmarkForwardFanout measures the forwarder receive path under
+// repeated same-tree traffic: decode a data frame, rebuild (or fetch from
+// the forwarder cache) its 32-node tree, and push the allocated copies to
+// 30 children. The cached/nocache sub-benchmarks isolate the cache's
+// contribution.
+func BenchmarkForwardFanout(b *testing.B) {
+	const procs = 32
+	// Root 0 hands to forwarder 1, which fans out to children 2..31 with
+	// 2 copies each — the worst-case interior node of a shallow MRT.
+	parents := make([]topology.NodeID, procs)
+	alloc := make([]int32, procs)
+	parents[0] = topology.None
+	parents[1] = 0
+	alloc[1] = 1
+	for i := 2; i < procs; i++ {
+		parents[i] = 1
+		alloc[i] = 2
+	}
+
+	for _, mode := range []struct {
+		name string
+		size int
+	}{{"cached", 0}, {"nocache", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sink := &fanoutSink{id: 1}
+			nd, err := node.New(node.Config{
+				ID:               1,
+				NumProcs:         procs,
+				Neighbors:        []topology.NodeID{0},
+				ForwardCacheSize: mode.size,
+				DeliveryBuffer:   1, // deliveries overflow silently; not under test
+			}, sink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body := []byte("fanout payload 0123456789abcdef")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: &wire.DataMsg{
+					Origin:      0,
+					Seq:         uint64(i + 1),
+					Root:        0,
+					Parents:     parents,
+					AllocByNode: alloc,
+					Body:        body,
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink.handler(0, frame)
+			}
+			b.StopTimer()
+			if want := b.N * 60; sink.sends != want {
+				b.Fatalf("forwarded %d copies, want %d", sink.sends, want)
+			}
+			st := nd.Stats()
+			if mode.size == 0 && st.ForwardCacheHits < b.N-1 {
+				b.Fatalf("cache ineffective: %d hits over %d frames", st.ForwardCacheHits, b.N)
+			}
+		})
 	}
 }

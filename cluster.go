@@ -32,6 +32,10 @@ type ClusterConfig struct {
 	// DisablePlanCache forces every broadcast on every node to replan
 	// from the current view (see WithPlanCache; mainly for benchmarks).
 	DisablePlanCache bool
+	// DisableDeltaHeartbeats makes every node heartbeat its full knowledge
+	// snapshot every period (see WithDeltaHeartbeats; mainly for
+	// benchmarks and bandwidth comparisons).
+	DisableDeltaHeartbeats bool
 }
 
 // Cluster is a thin convenience layer over Node: one node per process of
@@ -83,6 +87,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if cfg.DisablePlanCache {
 			opts = append(opts, WithPlanCache(false))
+		}
+		if cfg.DisableDeltaHeartbeats {
+			opts = append(opts, WithDeltaHeartbeats(false))
 		}
 		nd, err := NewNode(fabric.Endpoint(id), n, cfg.Topology.Neighbors(id), opts...)
 		if err != nil {

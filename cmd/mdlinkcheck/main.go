@@ -1,0 +1,84 @@
+// Command mdlinkcheck validates relative markdown links: every
+// `[text](target)` whose target is not an absolute URL or in-page anchor
+// must resolve to a file or directory relative to the markdown file that
+// references it. CI runs it over the repository's documentation so moved
+// or deleted files cannot leave dangling references behind.
+//
+// Usage:
+//
+//	mdlinkcheck FILE.md [FILE.md ...]
+//
+// Exit status is non-zero when any link is broken; each broken link is
+// reported as file:line: target.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, non-greedily so several links on
+// one line are each captured. Images (![alt](src)) are matched the same
+// way — a missing image is just as broken as a missing page.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// skippable reports link targets that are not relative file references:
+// absolute URLs, in-page anchors, and mailto links.
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "#") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// checkFile returns one message per broken relative link in path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Strip an in-page fragment: FILE.md#section checks FILE.md.
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+				if target == "" {
+					continue
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", path, i+1, m[1]))
+			}
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		broken, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 2
+			continue
+		}
+		for _, msg := range broken {
+			fmt.Fprintln(os.Stderr, "broken link:", msg)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := filepath.Join(dir, "doc.md")
+	body := `# Doc
+[ok](exists.md) and [anchor](#section) and [url](https://example.com/x)
+[fragment](exists.md#part) [two](exists.md) [broken](missing.md) on one line
+![image](missing.png)
+`
+	if err := os.WriteFile(doc, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("broken = %v, want exactly the missing.md and missing.png links", broken)
+	}
+}
+
+func TestSkippable(t *testing.T) {
+	for target, want := range map[string]bool{
+		"https://example.com": true,
+		"#anchor":             true,
+		"mailto:x@y.z":        true,
+		"../ROADMAP.md":       false,
+		"sub/dir":             false,
+	} {
+		if got := skippable(target); got != want {
+			t.Errorf("skippable(%q) = %v, want %v", target, got, want)
+		}
+	}
+}

@@ -112,6 +112,15 @@ func MustNew(u int) *Estimator {
 // Intervals returns U, the number of probability intervals.
 func (e *Estimator) Intervals() int { return len(e.g.mid) }
 
+// GridSignature identifies the estimator's discretization without copying
+// it: the interval count plus the first midpoint. The standard uniform
+// grid and every Refine window differ in at least one of the two, so
+// comparing signatures detects re-gridding in O(1); delta heartbeats use
+// this to decide whether an estimate must be re-shipped.
+func (e *Estimator) GridSignature() (intervals int, firstMid float64) {
+	return len(e.g.mid), e.g.mid[0]
+}
+
 // ObserveFailure applies decreaseReliability(estimate, factor): it updates
 // the beliefs as if `factor` independent failure events had been observed.
 // factor <= 0 is a no-op.

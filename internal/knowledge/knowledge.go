@@ -90,6 +90,20 @@ type Params struct {
 	// refine (default 400): re-gridding around a transient early MAP
 	// would lock the window away from the truth.
 	RefineMinObs int
+	// DeltaEpsilon is the minimum posterior-mean movement for an estimate
+	// to count as changed for delta heartbeats (View.DeltaSince): a record
+	// is re-shipped once its mean has drifted more than DeltaEpsilon from
+	// the value at its last wire-signature bump, or its distortion or grid
+	// changed. Converged estimates keep absorbing evidence but their mean
+	// barely moves, so they drop out of steady-state deltas — the paper's
+	// continuous heartbeat cost collapses to the liveness header. The
+	// cumulative divergence between a delta receiver's view and the
+	// sender's is bounded by DeltaEpsilon (drift accumulates against the
+	// last-shipped value, not the previous period's). Default 1e-4 — two
+	// orders of magnitude finer than the U=100 interval width the paper's
+	// convergence criterion resolves. Negative means exact (any change
+	// re-ships).
+	DeltaEpsilon float64
 	// refineEvery is how often (periods) refinement candidacy is checked.
 	refineEvery int
 }
@@ -115,6 +129,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.RefineMinObs == 0 {
 		p.RefineMinObs = 400
+	}
+	if p.DeltaEpsilon == 0 {
+		p.DeltaEpsilon = 1e-4
 	}
 	if p.refineEvery == 0 {
 		p.refineEvery = 16
@@ -162,6 +179,24 @@ func (t *Interner) Link(i int) topology.Link { return t.links[i] }
 // Len returns the number of interned links.
 func (t *Interner) Len() int { return len(t.links) }
 
+// wireSig is a record's last-shipped wire signature for delta heartbeats:
+// the posterior mean, distortion and grid identity at the record's last
+// meaningful change, plus the view version that change was stamped with.
+// Mutation sites set only the dirty bit (one store, so the simulator's
+// merge fast path pays nothing); refreshSigs re-evaluates dirty records
+// lazily when a delta is cut and stamps `at` only when the content moved
+// beyond Params.DeltaEpsilon — distortion *aging* (Event 2's dist++)
+// deliberately never sets the bit, because aging is local confidence decay
+// every peer applies to its own copies and carries no news.
+type wireSig struct {
+	dirty bool
+	at    uint64 // view version of the last meaningful change
+	mean  float64
+	dist  int
+	gridN int
+	grid0 float64
+}
+
 // procState is C_k[p_i]: the estimate one process keeps about another
 // process (or itself).
 //
@@ -182,6 +217,7 @@ type procState struct {
 	suspected   int    // C_k[p_j].suspected: Event 2 firings since last heartbeat
 	timeout     int    // ∆_k[p_j] in periods
 	sinceUpdate int    // periods since this estimate was last refreshed
+	sig         wireSig
 }
 
 // mutable returns the estimator, cloning it first if it might be shared
@@ -202,6 +238,7 @@ type linkState struct {
 	shared  bool
 	refined bool // AutoRefine already re-gridded this estimator
 	dist    int
+	sig     wireSig
 }
 
 // mutable returns the estimator, cloning it first if it might be shared.
@@ -228,6 +265,7 @@ type View struct {
 	neighbor []bool       // direct neighbors of self
 	selfSeq  uint64       // heartbeat sequencer C_k[p_k].seq
 	version  uint64       // monotonic mutation counter, see Version
+	sigVer   uint64       // version the wire signatures were last refreshed at
 }
 
 // NewView builds the initial view of process self in a system of n
@@ -258,6 +296,7 @@ func NewView(self topology.NodeID, n int, neighbors []topology.NodeID, interner 
 		}
 	}
 	v.procs[self].dist = 0 // p_k sees itself with no distortion
+	v.procs[self].sig.dirty = true
 	for _, nb := range neighbors {
 		if nb == self || nb < 0 || int(nb) >= n {
 			return nil, fmt.Errorf("knowledge: invalid neighbor %d", nb)
@@ -265,7 +304,7 @@ func NewView(self topology.NodeID, n int, neighbors []topology.NodeID, interner 
 		v.neighbor[nb] = true
 		idx := v.interner.Intern(topology.NewLink(self, nb))
 		v.ensureLinks(idx)
-		v.links[idx] = &linkState{est: bayes.MustNew(params.Intervals), dist: 0}
+		v.links[idx] = &linkState{est: bayes.MustNew(params.Intervals), dist: 0, sig: wireSig{dirty: true}}
 	}
 	return v, nil
 }
@@ -290,7 +329,9 @@ func (v *View) SelfSeq() uint64 { return v.selfSeq }
 // estimates change: BeginPeriod, OnRecover, and every merge that adopted
 // at least one estimate or learned a link. Consumers that derive
 // expensive artifacts from the view (the node's broadcast plan cache)
-// compare versions to reuse results across unchanged views.
+// compare versions to reuse results across unchanged views, and delta
+// heartbeats (DeltaSince) use versions as the acked watermark peers
+// resume from.
 func (v *View) Version() uint64 { return v.version }
 
 // Interner exposes the link index table (shared in simulations).
@@ -320,6 +361,7 @@ func (v *View) BeginPeriod() {
 	v.selfSeq++
 	v.version++
 	v.procs[v.self].mutable().ObserveSuccess(1) // Event 3: ∆tick = δ
+	v.procs[v.self].sig.dirty = true
 	if v.params.AutoRefine && v.selfSeq%uint64(v.params.refineEvery) == 0 {
 		v.maybeRefine()
 	}
@@ -341,6 +383,7 @@ func (v *View) BeginPeriod() {
 		if v.neighbor[j] {
 			ps.suspected++
 			ps.mutable().ObserveFailure(1)
+			ps.sig.dirty = true
 			// Link evidence is intentionally NOT decreased here; see the
 			// package comment — losses are booked exactly from sequence
 			// gaps on the next reception, keeping the link posterior
@@ -358,11 +401,13 @@ func (v *View) BeginPeriod() {
 func (v *View) maybeRefine() {
 	self := &v.procs[v.self]
 	self.est, self.refined, self.shared = v.refineStep(self.est, self.refined, self.shared)
+	self.sig.dirty = true
 	for _, ls := range v.links {
 		if ls == nil || ls.dist != 0 {
 			continue
 		}
 		ls.est, ls.refined, ls.shared = v.refineStep(ls.est, ls.refined, ls.shared)
+		ls.sig.dirty = true
 	}
 }
 
@@ -404,6 +449,7 @@ func (v *View) linkTo(j topology.NodeID) *linkState {
 func (v *View) OnRecover(missedTicks int) {
 	v.version++
 	v.procs[v.self].mutable().ObserveFailure(missedTicks)
+	v.procs[v.self].sig.dirty = true
 }
 
 // MergeFrom is Event 1 operating directly on the sender's live view
@@ -464,7 +510,7 @@ func (v *View) mergeEstimates(src *View) bool {
 		mine := v.links[idx]
 		if mine == nil {
 			theirs.shared = true
-			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist)}
+			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist), sig: wireSig{dirty: true}}
 			changed = true
 			continue
 		}
@@ -473,6 +519,7 @@ func (v *View) mergeEstimates(src *View) bool {
 			mine.est = theirs.est
 			mine.shared = true
 			mine.dist = bump(theirs.dist)
+			mine.sig.dirty = true
 			changed = true
 		}
 	}
@@ -494,6 +541,7 @@ func (v *View) adoptProc(mine, theirs *procState) bool {
 	mine.shared = true
 	mine.dist = bump(theirs.dist)
 	mine.sinceUpdate = 0
+	mine.sig.dirty = true
 	return true
 }
 
@@ -520,6 +568,7 @@ func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64) {
 		ls = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0}
 		v.links[idx] = ls
 	}
+	ls.sig.dirty = true // success/failure evidence below moves the estimate
 
 	missed := 0
 	switch {

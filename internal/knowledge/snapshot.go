@@ -2,6 +2,7 @@ package knowledge
 
 import (
 	"fmt"
+	"math"
 
 	"adaptivecast/internal/bayes"
 	"adaptivecast/internal/topology"
@@ -33,8 +34,12 @@ type LinkRecord struct {
 	Est  bayes.State
 }
 
-// Snapshot deep-copies the view into a wire-ready payload.
+// Snapshot deep-copies the view into a wire-ready payload. It also
+// refreshes the wire signatures (see DeltaSince): a full snapshot ships
+// every record, so it baselines them all — the next delta cut against an
+// ack of this version re-ships only what changes afterwards.
 func (v *View) Snapshot() *Snapshot {
+	v.refreshSigs()
 	s := &Snapshot{From: v.self, Seq: v.selfSeq}
 	for i := range v.procs {
 		ps := &v.procs[i]
@@ -58,6 +63,101 @@ func (v *View) Snapshot() *Snapshot {
 		})
 	}
 	return s
+}
+
+// DeltaSince returns a partial snapshot holding only the records whose
+// wire signature changed after version base — the steady-state heartbeat
+// payload: once estimates converge their means stop moving beyond
+// Params.DeltaEpsilon and drop out, leaving deltas near-empty while the
+// header keeps serving the sequence-gap liveness accounting.
+//
+// ok is false when base cannot anchor a delta — zero (the peer never
+// acked anything) or ahead of the current version (the peer acked a
+// previous incarnation of this view) — and the caller must fall back to a
+// full Snapshot. Deltas are cumulative against the acked base, so a lost
+// delta is repaired by the next one without any retransmission protocol:
+// the records it carried still satisfy sig.at > base until the peer acks
+// past them.
+//
+// Correctness invariant (induction over acked versions): a peer that
+// acked version V holds every record signature stamped at or before V,
+// within DeltaEpsilon. Base case: the peer's first merge is a full
+// snapshot. Step: the frame cut at version W against acked base V carries
+// exactly the records stamped in (V, W].
+func (v *View) DeltaSince(base uint64) (s *Snapshot, ok bool) {
+	if base == 0 || base > v.version {
+		return nil, false
+	}
+	v.refreshSigs()
+	s = &Snapshot{From: v.self, Seq: v.selfSeq}
+	for i := range v.procs {
+		ps := &v.procs[i]
+		if ps.dist == DistInf || ps.sig.at <= base {
+			continue
+		}
+		s.Procs = append(s.Procs, ProcRecord{
+			ID:   topology.NodeID(i),
+			Dist: ps.dist,
+			Est:  ps.est.State(),
+		})
+	}
+	for idx, ls := range v.links {
+		if ls == nil || ls.sig.at <= base {
+			continue
+		}
+		s.Links = append(s.Links, LinkRecord{
+			Link: v.interner.Link(idx),
+			Dist: ls.dist,
+			Est:  ls.est.State(),
+		})
+	}
+	return s, true
+}
+
+// refreshSigs re-evaluates the wire signature of every record whose dirty
+// bit is set, stamping the current version onto records whose content
+// moved meaningfully (mean beyond DeltaEpsilon, or distortion or grid
+// changed). It runs at most once per view version, so cutting deltas for
+// several neighbors in one heartbeat period evaluates each record once.
+func (v *View) refreshSigs() {
+	if v.sigVer == v.version {
+		return
+	}
+	v.sigVer = v.version
+	eps := v.params.DeltaEpsilon
+	if eps < 0 {
+		eps = 0
+	}
+	for i := range v.procs {
+		ps := &v.procs[i]
+		if ps.sig.dirty {
+			refreshSig(&ps.sig, ps.est, ps.dist, eps, v.version)
+		}
+	}
+	for _, ls := range v.links {
+		if ls != nil && ls.sig.dirty {
+			refreshSig(&ls.sig, ls.est, ls.dist, eps, v.version)
+		}
+	}
+}
+
+// refreshSig clears one dirty bit, stamping the record iff its content
+// drifted beyond the last stamped signature. Drift is measured against
+// the mean at the last stamp, not the previous period's, so sub-epsilon
+// movements cannot accumulate into unbounded divergence.
+func refreshSig(sig *wireSig, est *bayes.Estimator, dist int, eps float64, ver uint64) {
+	sig.dirty = false
+	gridN, grid0 := est.GridSignature()
+	mean := est.Mean()
+	if sig.at != 0 && dist == sig.dist && gridN == sig.gridN && grid0 == sig.grid0 &&
+		math.Abs(mean-sig.mean) <= eps {
+		return
+	}
+	sig.at = ver
+	sig.mean = mean
+	sig.dist = dist
+	sig.gridN = gridN
+	sig.grid0 = grid0
 }
 
 // MergeSnapshot is Event 1 over a serialized heartbeat (live-runtime
@@ -124,6 +224,7 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 		mine.shared = false
 		mine.dist = bump(pr.Dist)
 		mine.sinceUpdate = 0
+		mine.sig.dirty = true
 		changed = true
 	}
 
@@ -139,7 +240,7 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 			if err != nil {
 				return changed, fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
 			}
-			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist)}
+			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist), sig: wireSig{dirty: true}}
 			changed = true
 			continue
 		}
@@ -153,6 +254,7 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 		mine.est = est // freshly decoded: exclusively ours
 		mine.shared = false
 		mine.dist = bump(lr.Dist)
+		mine.sig.dirty = true
 		changed = true
 	}
 	return changed, nil

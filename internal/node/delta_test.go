@@ -1,0 +1,247 @@
+package node
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+	"adaptivecast/internal/transport"
+	"adaptivecast/internal/wire"
+)
+
+// settleTicks runs `periods` heartbeat rounds on every node, letting the
+// fabric drain between rounds.
+func settleTicks(nodes []*Node, periods int) {
+	for p := 0; p < periods; p++ {
+		for _, nd := range nodes {
+			nd.Tick()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeltaHeartbeatSteadyStateBandwidth is the tentpole acceptance test:
+// once estimates converge, delta heartbeats must spend at least 3x fewer
+// bytes per period than full-snapshot heartbeats. (In practice the factor
+// is far larger — converged deltas are near-empty — but the 3x floor is
+// what the change guarantees.)
+func TestDeltaHeartbeatSteadyStateBandwidth(t *testing.T) {
+	run := func(disableDeltas bool) (steadyBytes int) {
+		g, err := topology.Ring(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabric := transport.NewFabric(transport.FabricOptions{})
+		defer func() { _ = fabric.Close() }()
+		nodes := buildCluster(t, g, fabric, func(i int) Config {
+			return Config{DisableDeltaHeartbeats: disableDeltas}
+		})
+		// Long enough for every estimate's mean to settle well below the
+		// delta epsilon (posterior drift shrinks like 1/periods²).
+		settleTicks(nodes, 300)
+		before := nodes[0].Stats().HeartbeatBytesSent
+		settleTicks(nodes, 40)
+		return nodes[0].Stats().HeartbeatBytesSent - before
+	}
+
+	deltaBytes := run(false)
+	fullBytes := run(true)
+	if deltaBytes <= 0 || fullBytes <= 0 {
+		t.Fatalf("no heartbeat bytes measured: delta=%d full=%d", deltaBytes, fullBytes)
+	}
+	if 3*deltaBytes > fullBytes {
+		t.Errorf("steady-state delta heartbeats spent %dB vs full %dB — want >= 3x saving (got %.1fx)",
+			deltaBytes, fullBytes, float64(fullBytes)/float64(deltaBytes))
+	}
+	t.Logf("steady-state heartbeat bytes over 40 periods: delta=%dB full=%dB (%.0fx smaller)",
+		deltaBytes, fullBytes, float64(fullBytes)/float64(deltaBytes))
+}
+
+// TestDeltaHeartbeatsStillDetectLoss holds the liveness property deltas
+// must not break: near-empty delta frames still carry the heartbeat
+// sequence, so the sequence-gap loss accounting keeps converging to the
+// true link loss.
+func TestDeltaHeartbeatsStillDetectLoss(t *testing.T) {
+	const trueLoss = 0.25
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{Seed: 5})
+	defer func() { _ = fabric.Close() }()
+	if err := fabric.SetLoss(0, 1, trueLoss); err != nil {
+		t.Fatal(err)
+	}
+	nodes := buildCluster(t, g, fabric, nil)
+	settleTicks(nodes, 1200)
+	link := topology.NewLink(0, 1)
+	for i, nd := range nodes {
+		got, _, ok := nd.LossEstimate(link)
+		if !ok {
+			t.Fatalf("node %d never learned the link", i)
+		}
+		if math.Abs(got-trueLoss) > 0.07 {
+			t.Errorf("node %d loss estimate = %v under delta heartbeats, want ≈%v", i, got, trueLoss)
+		}
+	}
+}
+
+// TestDeltaFullFallbackAfterRestart is the stale-ack scenario: a node
+// that lost its state (restart) keeps echoing an empty ack, its neighbor
+// falls back to full snapshots, and the restarted node re-learns the
+// whole topology — records that converged long ago and would never ride
+// a delta again.
+func TestDeltaFullFallbackAfterRestart(t *testing.T) {
+	g, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+	settleTicks(nodes, 250) // converge: steady-state deltas are now empty
+	for i, nd := range nodes {
+		if got := len(nd.KnownLinks()); got != 5 {
+			t.Fatalf("node %d knows %d links before restart, want 5", i, got)
+		}
+	}
+
+	// "Restart" node 3: a fresh incarnation on the same endpoint, with no
+	// peer bookkeeping and an empty view.
+	nodes[3].Stop()
+	replacement, err := New(Config{
+		ID: 3, NumProcs: 5, Neighbors: g.Neighbors(3),
+	}, fabric.Endpoint(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[3] = replacement
+	settleTicks(nodes, 6)
+
+	// The only way the restarted node can re-learn the far side of the
+	// ring is a full-snapshot fallback: its neighbors' deltas no longer
+	// carry those long-converged records.
+	if got := len(replacement.KnownLinks()); got != 5 {
+		t.Errorf("restarted node re-learned %d links, want 5 (full-snapshot fallback broken?)", got)
+	}
+	if hb := replacement.Stats().HeartbeatsReceived; hb == 0 {
+		t.Error("restarted node received no heartbeats")
+	}
+}
+
+// TestDeltaConvergesToFullBaseline is the property-style schedule test:
+// random lossy schedules, one cluster on delta heartbeats and one on
+// always-full snapshots, must end with the same view of the system (up to
+// the documented DeltaEpsilon-scale tolerance) once the links calm down
+// and the ack chain repairs.
+func TestDeltaConvergesToFullBaseline(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		run := func(disableDeltas bool) []*Node {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topology.RandomConnected(5, 2, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fabric := transport.NewFabric(transport.FabricOptions{Seed: seed})
+			t.Cleanup(func() { _ = fabric.Close() })
+			nodes := buildCluster(t, g, fabric, func(i int) Config {
+				return Config{DisableDeltaHeartbeats: disableDeltas}
+			})
+			// Lossy phase: both clusters sample the identical loss schedule
+			// (same seed, same synchronous send order), dropping full and
+			// delta heartbeats alike.
+			for li := 0; li < g.NumLinks(); li++ {
+				l := g.Link(li)
+				if err := fabric.SetLoss(l.A, l.B, 0.3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			settleTicks(nodes, 150)
+			// Calm phase: no loss; acks repair and estimates settle.
+			for li := 0; li < g.NumLinks(); li++ {
+				l := g.Link(li)
+				if err := fabric.SetLoss(l.A, l.B, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			settleTicks(nodes, 100)
+			return nodes
+		}
+
+		deltaNodes := run(false)
+		fullNodes := run(true)
+		for i := range deltaNodes {
+			for p := 0; p < 5; p++ {
+				mD, dD := deltaNodes[i].CrashEstimate(topology.NodeID(p))
+				mF, dF := fullNodes[i].CrashEstimate(topology.NodeID(p))
+				if (dD == math.MaxInt32) != (dF == math.MaxInt32) {
+					t.Fatalf("seed %d: node %d knows of process %d in one mode only", seed, i, p)
+				}
+				if math.Abs(mD-mF) > 0.05 {
+					t.Errorf("seed %d: node %d estimate of process %d diverged: delta=%v full=%v",
+						seed, i, p, mD, mF)
+				}
+			}
+			if dl, fl := len(deltaNodes[i].KnownLinks()), len(fullNodes[i].KnownLinks()); dl != fl {
+				t.Errorf("seed %d: node %d knows %d links on deltas vs %d on full", seed, i, dl, fl)
+			}
+		}
+	}
+}
+
+// TestSnapshotMergeErrorsSurfaced pins the satellite fix: a frame that
+// decodes fine but whose knowledge snapshot the view rejects must be
+// counted in its own stat, not silently conflated with decode errors.
+func TestSnapshotMergeErrorsSurfaced(t *testing.T) {
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+
+	// A well-formed frame naming a process outside the receiver's Π.
+	evil := mustEncodeHeartbeat(t, 1, 3, 7)
+	if err := fabric.Endpoint(1).Send(0, evil); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, func() bool { return nodes[0].Stats().SnapshotMergeErrors == 1 },
+		"malformed snapshot not surfaced in SnapshotMergeErrors")
+	if nodes[0].Stats().DecodeErrors != 0 {
+		t.Errorf("DecodeErrors = %d, want 0 (the frame decoded fine)", nodes[0].Stats().DecodeErrors)
+	}
+}
+
+func waitStat(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// mustEncodeHeartbeat builds a well-formed heartbeat frame from `from`
+// whose snapshot names process `badID` — wire-valid, knowledge-invalid.
+func mustEncodeHeartbeat(t *testing.T, from topology.NodeID, seq uint64, badID topology.NodeID) []byte {
+	t.Helper()
+	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: &knowledge.Snapshot{
+		From: from,
+		Seq:  seq,
+		Procs: []knowledge.ProcRecord{
+			{ID: badID, Dist: 1, Est: bayes.MustNew(4).State()},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}

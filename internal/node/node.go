@@ -9,8 +9,17 @@
 // Concurrency is lock-split so the datapath scales with broadcast rate:
 // the knowledge view has its own mutex (heartbeat merges and ticks),
 // the dedup set has its own (inbound data), the broadcast plan cache has
-// its own (outbound data), and every counter is an atomic — Broadcast,
-// handleData and Tick never serialize on one global lock.
+// its own (outbound data), the forwarder tree cache and the delta-
+// heartbeat peer bookkeeping each have their own, and every counter is an
+// atomic — Broadcast, handleData and Tick never serialize on one global
+// lock.
+//
+// Steady-state bandwidth is kept flat by three mechanisms layered here:
+// heartbeats ship per-neighbor knowledge deltas against the version the
+// neighbor last acked (full-snapshot fallback when no ack anchors one),
+// per-edge retransmission bursts go through the transport's SendN
+// batching, and received data frames reuse cached trees instead of
+// rebuilding them per frame.
 package node
 
 import (
@@ -44,51 +53,66 @@ type Delivery struct {
 
 // Stats counts node-level events. Retrieve a snapshot with Node.Stats.
 type Stats struct {
-	HeartbeatsSent     int
-	HeartbeatsReceived int
-	DataSent           int
-	DataReceived       int
-	Delivered          int
-	DroppedDeliveries  int // deliveries discarded because the channel was full
-	SuppressedReplays  int // redeliveries filtered by the durable dedup log
-	FallbackFloods     int // broadcasts flooded for lack of a connected view
-	DecodeErrors       int
-	LogErrors          int // dedup-log write failures (delivery degrades to at-least-once)
-	PlanCacheHits      int // broadcasts that reused the cached (tree, allocation) plan
-	PlanCacheMisses    int // broadcasts that had to replan because the view changed
+	HeartbeatsSent      int
+	HeartbeatsReceived  int
+	DeltaHeartbeatsSent int // heartbeats that shipped as knowledge deltas (subset of HeartbeatsSent)
+	HeartbeatBytesSent  int // encoded heartbeat bytes handed to the transport
+	DataSent            int
+	DataReceived        int
+	Delivered           int
+	DroppedDeliveries   int // deliveries discarded because the channel was full
+	SuppressedReplays   int // redeliveries filtered by the durable dedup log
+	FallbackFloods      int // broadcasts flooded for lack of a connected view
+	DecodeErrors        int // frames that failed wire decoding
+	SnapshotMergeErrors int // well-formed frames whose knowledge snapshot the view rejected
+	LogErrors           int // dedup-log write failures (delivery degrades to at-least-once)
+	PlanCacheHits       int // broadcasts that reused the cached (tree, allocation) plan
+	PlanCacheMisses     int // broadcasts that had to replan because the view changed
+	ForwardCacheHits    int // received data frames whose tree came from the forwarder cache
+	ForwardCacheMisses  int // received data frames that had to rebuild their tree
 }
 
 // counters is the runtime's internal, atomically updated form of Stats,
 // so hot paths never take a lock to count an event.
 type counters struct {
-	heartbeatsSent     atomic.Int64
-	heartbeatsReceived atomic.Int64
-	dataSent           atomic.Int64
-	dataReceived       atomic.Int64
-	delivered          atomic.Int64
-	droppedDeliveries  atomic.Int64
-	suppressedReplays  atomic.Int64
-	fallbackFloods     atomic.Int64
-	decodeErrors       atomic.Int64
-	logErrors          atomic.Int64
-	planCacheHits      atomic.Int64
-	planCacheMisses    atomic.Int64
+	heartbeatsSent      atomic.Int64
+	heartbeatsReceived  atomic.Int64
+	deltaHeartbeatsSent atomic.Int64
+	heartbeatBytesSent  atomic.Int64
+	dataSent            atomic.Int64
+	dataReceived        atomic.Int64
+	delivered           atomic.Int64
+	droppedDeliveries   atomic.Int64
+	suppressedReplays   atomic.Int64
+	fallbackFloods      atomic.Int64
+	decodeErrors        atomic.Int64
+	snapshotMergeErrors atomic.Int64
+	logErrors           atomic.Int64
+	planCacheHits       atomic.Int64
+	planCacheMisses     atomic.Int64
+	forwardCacheHits    atomic.Int64
+	forwardCacheMisses  atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		HeartbeatsSent:     int(c.heartbeatsSent.Load()),
-		HeartbeatsReceived: int(c.heartbeatsReceived.Load()),
-		DataSent:           int(c.dataSent.Load()),
-		DataReceived:       int(c.dataReceived.Load()),
-		Delivered:          int(c.delivered.Load()),
-		DroppedDeliveries:  int(c.droppedDeliveries.Load()),
-		SuppressedReplays:  int(c.suppressedReplays.Load()),
-		FallbackFloods:     int(c.fallbackFloods.Load()),
-		DecodeErrors:       int(c.decodeErrors.Load()),
-		LogErrors:          int(c.logErrors.Load()),
-		PlanCacheHits:      int(c.planCacheHits.Load()),
-		PlanCacheMisses:    int(c.planCacheMisses.Load()),
+		HeartbeatsSent:      int(c.heartbeatsSent.Load()),
+		HeartbeatsReceived:  int(c.heartbeatsReceived.Load()),
+		DeltaHeartbeatsSent: int(c.deltaHeartbeatsSent.Load()),
+		HeartbeatBytesSent:  int(c.heartbeatBytesSent.Load()),
+		DataSent:            int(c.dataSent.Load()),
+		DataReceived:        int(c.dataReceived.Load()),
+		Delivered:           int(c.delivered.Load()),
+		DroppedDeliveries:   int(c.droppedDeliveries.Load()),
+		SuppressedReplays:   int(c.suppressedReplays.Load()),
+		FallbackFloods:      int(c.fallbackFloods.Load()),
+		DecodeErrors:        int(c.decodeErrors.Load()),
+		SnapshotMergeErrors: int(c.snapshotMergeErrors.Load()),
+		LogErrors:           int(c.logErrors.Load()),
+		PlanCacheHits:       int(c.planCacheHits.Load()),
+		PlanCacheMisses:     int(c.planCacheMisses.Load()),
+		ForwardCacheHits:    int(c.forwardCacheHits.Load()),
+		ForwardCacheMisses:  int(c.forwardCacheMisses.Load()),
 	}
 }
 
@@ -146,6 +170,20 @@ type Config struct {
 	// broadcast to rebuild the MRT and allocation from the current view
 	// (the pre-cache behavior; useful for benchmarks and debugging).
 	DisablePlanCache bool
+	// DisableDeltaHeartbeats makes every heartbeat ship the full knowledge
+	// snapshot as a legacy FrameHeartbeat, instead of the default
+	// per-neighbor knowledge deltas (records changed since the version the
+	// neighbor last acked, with a full-snapshot fallback while the
+	// neighbor's acked version is unknown or predates this incarnation).
+	// Deltas shrink steady-state heartbeat bandwidth by the convergence
+	// factor; disabling them is for benchmarks and for mixed clusters
+	// whose peers predate the delta frame kind.
+	DisableDeltaHeartbeats bool
+	// ForwardCacheSize bounds the forwarder tree cache: received data
+	// frames carrying the same (root, parents) tree reuse one rebuilt
+	// mrt.Tree instead of re-deriving it per frame. 0 means the default
+	// (16 entries); negative disables the cache.
+	ForwardCacheSize int
 	// Hooks are optional instrumentation callbacks.
 	Hooks Hooks
 	// Now injects a clock for tests (default time.Now).
@@ -161,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeliveryBuffer == 0 {
 		c.DeliveryBuffer = 128
+	}
+	if c.ForwardCacheSize == 0 {
+		c.ForwardCacheSize = defaultForwardCacheSize
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -203,6 +244,21 @@ type Node struct {
 	cachedPlan  *plan
 	planVersion uint64
 
+	// peerMu guards the delta-heartbeat version bookkeeping (a leaf lock:
+	// nothing is called while holding it). peerSeen[j] is the latest
+	// version of j's view merged here — echoed back to j as Ack on the
+	// next heartbeat. peerAcked[j] is the latest version of *this* view j
+	// has acknowledged — the base the next delta to j is cut from; 0 (or a
+	// value ahead of the current view, after a restart) forces the
+	// full-snapshot fallback.
+	peerMu    sync.Mutex
+	peerSeen  map[topology.NodeID]uint64
+	peerAcked map[topology.NodeID]uint64
+
+	// fwdCache memoizes trees rebuilt from received parent vectors; nil
+	// when disabled.
+	fwdCache *forwardCache
+
 	stats counters
 
 	closed  atomic.Bool
@@ -238,9 +294,14 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		tr:         tr,
 		view:       view,
 		delivered:  newDeliveredSet(),
+		peerSeen:   make(map[topology.NodeID]uint64, len(cfg.Neighbors)),
+		peerAcked:  make(map[topology.NodeID]uint64, len(cfg.Neighbors)),
 		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if cfg.ForwardCacheSize > 0 {
+		n.fwdCache = newForwardCache(cfg.ForwardCacheSize)
 	}
 	if cfg.Storage != nil {
 		mark, ok, err := cfg.Storage.LoadMark()
@@ -334,13 +395,73 @@ func (n *Node) heartbeatLoop() {
 // stable-storage clock mark, and a heartbeat to every neighbor. It is
 // exported so tests and deterministic drivers can pace the node without
 // real time.
+//
+// With delta heartbeats (the default), each neighbor gets its own frame:
+// the records changed since the version that neighbor last acked, or a
+// full snapshot while the acked version is unknown or unanchorable. Once
+// estimates converge the deltas go empty and a heartbeat shrinks to its
+// liveness header, which is what keeps steady-state bandwidth flat as the
+// system grows.
 func (n *Node) Tick() {
 	if n.closed.Load() {
 		return
 	}
+	// Copy the peer bookkeeping first (leaf lock, never nested under
+	// viewMu) so delta cutting under the view lock reads no shared maps.
+	var acked, seen map[topology.NodeID]uint64
+	if !n.cfg.DisableDeltaHeartbeats {
+		acked = make(map[topology.NodeID]uint64, len(n.cfg.Neighbors))
+		seen = make(map[topology.NodeID]uint64, len(n.cfg.Neighbors))
+		n.peerMu.Lock()
+		for _, nb := range n.cfg.Neighbors {
+			acked[nb] = n.peerAcked[nb]
+			seen[nb] = n.peerSeen[nb]
+		}
+		n.peerMu.Unlock()
+	}
+
+	type outbound struct {
+		to    topology.NodeID
+		snap  *knowledge.Snapshot
+		since uint64
+	}
+	var outs []outbound
+	var full *knowledge.Snapshot
+	var ver uint64
+
 	n.viewMu.Lock()
 	n.view.BeginPeriod()
-	snap := n.view.Snapshot()
+	ver = n.view.Version()
+	if n.cfg.DisableDeltaHeartbeats {
+		full = n.view.Snapshot()
+	} else {
+		outs = make([]outbound, 0, len(n.cfg.Neighbors))
+		// One cut per distinct acked base: in the common case every
+		// neighbor acked the same version, so a node of any degree scans
+		// the view once per period, not once per neighbor. A nil cached
+		// cut records an unanchorable base.
+		cuts := make(map[uint64]*knowledge.Snapshot, 1)
+		for _, nb := range n.cfg.Neighbors {
+			o := outbound{to: nb}
+			if base := acked[nb]; base > 0 {
+				d, cached := cuts[base]
+				if !cached {
+					d, _ = n.view.DeltaSince(base)
+					cuts[base] = d
+				}
+				if d != nil {
+					o.snap, o.since = d, base
+				}
+			}
+			if o.snap == nil {
+				if full == nil {
+					full = n.view.Snapshot()
+				}
+				o.snap = full // since stays 0: full-snapshot fallback
+			}
+			outs = append(outs, o)
+		}
+	}
 	n.viewMu.Unlock()
 
 	if n.cfg.Storage != nil {
@@ -349,17 +470,43 @@ func (n *Node) Tick() {
 		_ = n.cfg.Storage.SaveMark(n.cfg.Now())
 	}
 
-	frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: snap})
-	if err != nil {
+	if n.cfg.DisableDeltaHeartbeats {
+		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameHeartbeat, Heartbeat: full})
+		if err != nil {
+			return
+		}
+		sent := 0
+		for _, nb := range n.cfg.Neighbors {
+			if err := n.tr.Send(nb, frame); err == nil {
+				sent++
+				n.stats.heartbeatBytesSent.Add(int64(len(frame)))
+			}
+		}
+		n.stats.heartbeatsSent.Add(int64(sent))
 		return
 	}
-	sent := 0
-	for _, nb := range n.cfg.Neighbors {
-		if err := n.tr.Send(nb, frame); err == nil {
+
+	sent, deltas := 0, 0
+	for _, o := range outs {
+		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameKnowledgeDelta, Delta: &wire.KnowledgeDelta{
+			Snap:  o.snap,
+			Since: o.since,
+			Ver:   ver,
+			Ack:   seen[o.to],
+		}})
+		if err != nil {
+			continue
+		}
+		if err := n.tr.Send(o.to, frame); err == nil {
 			sent++
+			n.stats.heartbeatBytesSent.Add(int64(len(frame)))
+			if o.since > 0 {
+				deltas++
+			}
 		}
 	}
 	n.stats.heartbeatsSent.Add(int64(sent))
+	n.stats.deltaHeartbeatsSent.Add(int64(deltas))
 }
 
 // Broadcast initiates a reliable broadcast (Algorithm 1). It returns the
@@ -506,10 +653,12 @@ func allocByNode(tree *mrt.Tree, alloc []int) ([]int32, error) {
 }
 
 // forward pushes the allocated copies to this node's children in the
-// message's tree (Algorithm 1 lines 8–12). Individual send failures are
-// tolerated (the protocol's loss model), but when every attempted send
-// fails structurally — closed transport, unknown peers — the broadcast
-// went nowhere and the caller is told.
+// message's tree (Algorithm 1 lines 8–12), batching each child's m[j]
+// identical copies through the transport's SendN fast path (one fabric
+// enqueue / one TCP flush per child instead of one per copy). Individual
+// send failures are tolerated (the protocol's loss model), but when every
+// attempted send fails structurally — closed transport, unknown peers —
+// the broadcast went nowhere and the caller is told.
 func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 	frame, err := n.encodeData(msg)
 	if err != nil {
@@ -522,13 +671,14 @@ func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 		if int(child) < len(msg.AllocByNode) {
 			copies = int(msg.AllocByNode[child])
 		}
-		for i := 0; i < copies; i++ {
-			attempted++
-			if err := n.tr.Send(child, frame); err == nil {
-				sent++
-			} else {
-				lastErr = err
-			}
+		if copies == 0 {
+			continue
+		}
+		attempted += copies
+		got, err := transport.SendN(n.tr, child, frame, copies)
+		sent += got
+		if err != nil {
+			lastErr = err
 		}
 	}
 	n.stats.dataSent.Add(int64(sent))
@@ -579,11 +729,55 @@ func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
 		if err == nil {
 			n.stats.heartbeatsReceived.Add(1)
 		} else {
-			n.stats.decodeErrors.Add(1)
+			n.stats.snapshotMergeErrors.Add(1)
 		}
+	case wire.FrameKnowledgeDelta:
+		n.handleDelta(from, frame.Delta)
 	case wire.FrameData:
 		n.handleData(from, frame.Data)
 	}
+}
+
+// handleDelta merges a delta heartbeat and advances the version
+// bookkeeping of the ack chain. The merge itself is the ordinary Event 1
+// (delta frames carry the sender and heartbeat sequence exactly like full
+// heartbeats, so sequence-gap loss accounting is unaffected); what is
+// delta-specific is when the sender's version may be acknowledged:
+//
+//   - A full snapshot (Since == 0) proves this view now holds everything
+//     the sender had at Ver: overwrite the seen version (overwriting also
+//     un-sticks the bookkeeping when the sender restarted with a smaller
+//     version counter).
+//   - A delta anchored at a base this node has seen (Since <= seen) extends
+//     the held prefix to Ver.
+//   - A delta anchored past what this node has seen (this node restarted
+//     and lost its state while the sender still trusts a pre-crash ack)
+//     is merged for whatever knowledge it carries, but NOT acked: the
+//     stale ack this node keeps echoing makes the sender fall back to a
+//     full snapshot, which repairs the gap one period later.
+func (n *Node) handleDelta(from topology.NodeID, d *wire.KnowledgeDelta) {
+	if n.closed.Load() {
+		return
+	}
+	n.viewMu.Lock()
+	err := n.view.MergeSnapshot(d.Snap)
+	n.viewMu.Unlock()
+	if err != nil {
+		n.stats.snapshotMergeErrors.Add(1)
+		return
+	}
+	n.stats.heartbeatsReceived.Add(1)
+	n.peerMu.Lock()
+	switch {
+	case d.Since == 0:
+		n.peerSeen[from] = d.Ver
+	case d.Since <= n.peerSeen[from]:
+		if d.Ver > n.peerSeen[from] {
+			n.peerSeen[from] = d.Ver
+		}
+	}
+	n.peerAcked[from] = d.Ack
+	n.peerMu.Unlock()
 }
 
 // handleData is Algorithm 1 lines 5–7: deliver on first receipt, then
@@ -594,12 +788,16 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 	}
 	if msg.Piggyback != nil {
 		// Piggybacked knowledge is merged on every copy, duplicates
-		// included: each arrival carries the sender's current view.
+		// included: each arrival carries the sender's current view. A
+		// rejected snapshot (malformed estimator state, unknown process)
+		// is surfaced in its own counter — the frame itself decoded fine,
+		// and conflating the two hides malformed-peer problems from
+		// operators; the data message is still delivered and forwarded.
 		n.viewMu.Lock()
 		err := n.view.MergeSnapshotKnowledgeOnly(msg.Piggyback)
 		n.viewMu.Unlock()
 		if err != nil {
-			n.stats.decodeErrors.Add(1)
+			n.stats.snapshotMergeErrors.Add(1)
 		}
 	}
 	if !n.delivered.mark(msg.Origin, msg.Seq) {
@@ -633,7 +831,7 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 		_ = n.flood(msg)
 		return
 	}
-	tree, err := mrt.FromParents(msg.Root, msg.Parents)
+	tree, err := n.treeFromParents(msg.Root, msg.Parents)
 	if err != nil {
 		n.stats.decodeErrors.Add(1)
 		return
@@ -642,6 +840,27 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 		return // tree predates our membership; nothing to forward
 	}
 	_ = n.forward(tree, msg)
+}
+
+// treeFromParents rebuilds (or fetches from the forwarder cache) the tree
+// a data message carries. Repeated traffic down one tree — the common
+// shape, one active tree per broadcaster — costs a hash lookup per frame
+// instead of an O(n) rebuild with its allocations.
+func (n *Node) treeFromParents(root topology.NodeID, parents []topology.NodeID) (*mrt.Tree, error) {
+	if n.fwdCache == nil {
+		return mrt.FromParents(root, parents)
+	}
+	if tree, ok := n.fwdCache.get(root, parents); ok {
+		n.stats.forwardCacheHits.Add(1)
+		return tree, nil
+	}
+	n.stats.forwardCacheMisses.Add(1)
+	tree, err := mrt.FromParents(root, parents)
+	if err != nil {
+		return nil, err
+	}
+	n.fwdCache.put(root, parents, tree)
+	return tree, nil
 }
 
 // pushDelivery hands a delivery to the application without blocking the

@@ -38,6 +38,12 @@ func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg
 			if over.DisablePlanCache {
 				c.DisablePlanCache = true
 			}
+			if over.DisableDeltaHeartbeats {
+				c.DisableDeltaHeartbeats = true
+			}
+			if over.ForwardCacheSize != 0 {
+				c.ForwardCacheSize = over.ForwardCacheSize
+			}
 		}
 		nd, err := New(c, fabric.Endpoint(topology.NodeID(i)))
 		if err != nil {

@@ -121,8 +121,15 @@ func (f *Fabric) Close() error {
 	return nil
 }
 
-// route samples loss and hands the frame to the destination queue.
-func (f *Fabric) route(from, to topology.NodeID, frame []byte) error {
+// route samples loss per copy and hands the survivors to the destination
+// queue as one entry: n logical copies cost one buffer copy and one
+// channel operation, but link loss — the model the protocol's redundancy
+// math is built on — stays an independent Bernoulli trial per copy.
+// Queue overflow (local backpressure, not part of the paper's loss model)
+// drops the surviving batch as a unit; that correlation is not new — a
+// queue with no room for copy 1 of a burst had no room for copies 2..n
+// sent microseconds later either.
+func (f *Fabric) route(from, to topology.NodeID, frame []byte, n int) error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -133,24 +140,32 @@ func (f *Fabric) route(from, to topology.NodeID, frame []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("transport: unknown peer %d", to)
 	}
-	f.stats.Sent++
-	if p := f.loss[topology.NewLink(from, to)]; p > 0 && f.rng.Float64() < p {
-		f.stats.Lost++
-		f.mu.Unlock()
-		return nil
+	f.stats.Sent += n
+	survivors := n
+	if p := f.loss[topology.NewLink(from, to)]; p > 0 {
+		survivors = 0
+		for i := 0; i < n; i++ {
+			if f.rng.Float64() >= p {
+				survivors++
+			}
+		}
+		f.stats.Lost += n - survivors
 	}
 	f.mu.Unlock()
+	if survivors == 0 {
+		return nil
+	}
 
 	// Copy: the sender may reuse its buffer after Send returns.
 	cp := make([]byte, len(frame))
 	copy(cp, frame)
 	deliver := func() {
 		select {
-		case dst.queue <- inboundFrame{from: from, frame: cp}:
+		case dst.queue <- inboundFrame{from: from, frame: cp, copies: survivors}:
 		case <-dst.stop:
 		default:
 			f.mu.Lock()
-			f.stats.Overflows++
+			f.stats.Overflows += survivors
 			f.mu.Unlock()
 		}
 	}
@@ -162,9 +177,12 @@ func (f *Fabric) route(from, to topology.NodeID, frame []byte) error {
 	return nil
 }
 
+// inboundFrame is one queue entry: `copies` logical arrivals of the same
+// frame (the handler runs once per copy).
 type inboundFrame struct {
-	from  topology.NodeID
-	frame []byte
+	from   topology.NodeID
+	frame  []byte
+	copies int
 }
 
 // fabricEndpoint is one node's attachment to the fabric.
@@ -195,12 +213,21 @@ func (ep *fabricEndpoint) SetHandler(h Handler) {
 
 // Send implements Transport.
 func (ep *fabricEndpoint) Send(to topology.NodeID, frame []byte) error {
+	return ep.SendN(to, frame, 1)
+}
+
+// SendN implements BatchSender: n logical copies from one enqueue, with
+// loss still sampled per copy.
+func (ep *fabricEndpoint) SendN(to topology.NodeID, frame []byte, n int) error {
+	if n <= 0 {
+		return nil
+	}
 	select {
 	case <-ep.stop:
 		return errors.New("transport: endpoint closed")
 	default:
 	}
-	return ep.fabric.route(ep.id, to, frame)
+	return ep.fabric.route(ep.id, to, frame, n)
 }
 
 // Close implements Transport.
@@ -222,7 +249,9 @@ func (ep *fabricEndpoint) receiveLoop() {
 			h := ep.handler
 			ep.handlerMu.RUnlock()
 			if h != nil {
-				h(in.from, in.frame)
+				for i := 0; i < in.copies; i++ {
+					h(in.from, in.frame)
+				}
 			}
 		case <-ep.stop:
 			return

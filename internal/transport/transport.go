@@ -34,3 +34,54 @@ type Transport interface {
 	// idempotent; after Close, Send fails and no handler runs.
 	Close() error
 }
+
+// BatchSender is the optional fast path for transports that can deliver n
+// logical copies of one frame more cheaply than n Send calls — the
+// adaptive protocol's allocator assigns m[j] identical copies per tree
+// edge, so the datapath sends the same bytes to the same peer in bursts.
+//
+// Contract: SendN(to, frame, n) is semantically n independent Send calls —
+// the receiver's handler runs once per surviving copy, and probabilistic
+// transports sample loss per copy, not per batch (the protocol's
+// reliability math assumes independent copy losses). n <= 0 is a no-op.
+// Like Send, a nil error means the batch was handed to the transport, not
+// that any copy arrived.
+//
+// Implementations in this package: the Fabric delivers n logical copies
+// from a single queue enqueue (one buffer copy, one channel operation),
+// and TCP coalesces the n length-prefixed frames into one buffered flush
+// (one syscall instead of 2n writes).
+type BatchSender interface {
+	SendN(to topology.NodeID, frame []byte, n int) error
+}
+
+// SendN transmits n logical copies of frame to one peer, using the
+// transport's BatchSender fast path when it has one and degrading to a
+// best-effort loop of Send calls otherwise. It reports how many copies
+// were handed to the transport: a batching transport is all-or-nothing
+// (n or 0), while the fallback loop attempts every copy and counts the
+// successes, so callers keep exact accounting across partial failures.
+// err is the last failure when any copy failed (sent < n), nil otherwise.
+// Callers on the broadcast datapath should always go through this helper
+// rather than looping themselves, so any transport that learns to batch
+// speeds them up transparently.
+func SendN(t Transport, to topology.NodeID, frame []byte, n int) (sent int, err error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if bs, ok := t.(BatchSender); ok {
+		if err := bs.SendN(to, frame, n); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	var lastErr error
+	for i := 0; i < n; i++ {
+		if err := t.Send(to, frame); err == nil {
+			sent++
+		} else {
+			lastErr = err
+		}
+	}
+	return sent, lastErr
+}

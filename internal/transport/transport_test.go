@@ -305,3 +305,158 @@ func TestTCPLargeFrame(t *testing.T) {
 		t.Error("large frame corrupted")
 	}
 }
+
+// sendOnly is a minimal Transport without the BatchSender fast path, for
+// exercising the SendN shim.
+type sendOnly struct {
+	sent      int
+	fail      bool
+	failAfter int // when > 0, Send fails once this many copies succeeded
+}
+
+func (s *sendOnly) Local() topology.NodeID { return 0 }
+func (s *sendOnly) SetHandler(Handler)     {}
+func (s *sendOnly) Close() error           { return nil }
+func (s *sendOnly) Send(topology.NodeID, []byte) error {
+	if s.fail || (s.failAfter > 0 && s.sent >= s.failAfter) {
+		return fmt.Errorf("boom")
+	}
+	s.sent++
+	return nil
+}
+
+func TestSendNShimLoopsOverSend(t *testing.T) {
+	s := &sendOnly{}
+	sent, err := SendN(s, 1, []byte("x"), 5)
+	if err != nil || sent != 5 {
+		t.Fatalf("shim: sent=%d err=%v, want 5 copies", sent, err)
+	}
+	if s.sent != 5 {
+		t.Fatalf("shim sent %d copies, want 5", s.sent)
+	}
+	if sent, err := SendN(s, 1, []byte("x"), 0); err != nil || sent != 0 || s.sent != 5 {
+		t.Fatal("n <= 0 must be a no-op")
+	}
+	if sent, err := SendN(&sendOnly{fail: true}, 1, []byte("x"), 3); err == nil || sent != 0 {
+		t.Fatalf("shim must surface Send errors: sent=%d err=%v", sent, err)
+	}
+}
+
+// TestSendNShimCountsPartialSuccess pins the best-effort accounting the
+// broadcast datapath relies on: a mid-burst failure must not erase the
+// copies that did go out.
+func TestSendNShimCountsPartialSuccess(t *testing.T) {
+	s := &sendOnly{failAfter: 2}
+	sent, err := SendN(s, 1, []byte("x"), 5)
+	if err == nil {
+		t.Fatal("partial failure must surface the error")
+	}
+	if sent != 2 {
+		t.Fatalf("sent = %d, want the 2 copies that succeeded", sent)
+	}
+}
+
+func TestFabricSendNDeliversAllCopies(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	if sent, err := SendN(a, 1, []byte("burst"), 7); err != nil || sent != 7 {
+		t.Fatalf("sent=%d err=%v", sent, err)
+	}
+	col.wait(t, 7)
+	frames, froms := col.snapshot()
+	if len(frames) != 7 {
+		t.Fatalf("delivered %d copies, want 7", len(frames))
+	}
+	for i := range frames {
+		if frames[i] != "burst" || froms[i] != 0 {
+			t.Fatalf("copy %d corrupted: %q from %d", i, frames[i], froms[i])
+		}
+	}
+	if s := f.Stats(); s.Sent != 7 || s.Lost != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestFabricSendNSamplesLossPerCopy holds the protocol's reliability
+// model: a batch of n copies must lose each copy independently, not all
+// or nothing.
+func TestFabricSendNSamplesLossPerCopy(t *testing.T) {
+	f := NewFabric(FabricOptions{Seed: 7})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+	if err := f.SetLoss(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	const batches, per = 400, 5
+	for i := 0; i < batches; i++ {
+		if _, err := SendN(a, 1, []byte("x"), per); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Sent != batches*per {
+		t.Fatalf("sent = %d, want %d", s.Sent, batches*per)
+	}
+	frac := float64(s.Lost) / float64(s.Sent)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("loss fraction = %v, want ≈0.5 (per-copy sampling)", frac)
+	}
+	col.wait(t, s.Sent-s.Lost)
+}
+
+// TestTCPSendNSingleFlush is the batching acceptance hook: n copies must
+// reach the peer as n frames while costing exactly one socket flush.
+func TestTCPSendNSingleFlush(t *testing.T) {
+	col := newCollector()
+	server, err := NewTCP(1, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	server.SetHandler(col.handler)
+	client, err := NewTCP(0, "127.0.0.1:0", map[topology.NodeID]string{1: server.Addr().String()}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	const copies = 9
+	frame := []byte("replicated frame")
+	if sent, err := SendN(client, 1, frame, copies); err != nil || sent != copies {
+		t.Fatalf("sent=%d err=%v", sent, err)
+	}
+	st := client.Stats()
+	if st.Flushes != 1 {
+		t.Errorf("SendN(%d) cost %d flushes, want exactly 1", copies, st.Flushes)
+	}
+	if st.FramesSent != copies {
+		t.Errorf("FramesSent = %d, want %d", st.FramesSent, copies)
+	}
+	if want := copies * (4 + len(frame)); st.BytesSent != want {
+		t.Errorf("BytesSent = %d, want %d", st.BytesSent, want)
+	}
+	col.wait(t, copies)
+	frames, _ := col.snapshot()
+	for i, fr := range frames {
+		if fr != string(frame) {
+			t.Fatalf("copy %d corrupted: %q", i, fr)
+		}
+	}
+
+	// A plain Send is the n=1 case of the same path: one more flush.
+	if err := client.Send(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	if st = client.Stats(); st.Flushes != 2 || st.FramesSent != copies+1 {
+		t.Errorf("after Send: stats = %+v", st)
+	}
+}

@@ -15,7 +15,7 @@ import (
 //
 //	[0] magic 0xAC
 //	[1] version (1)
-//	[2] kind (FrameHeartbeat | FrameData)
+//	[2] kind (FrameHeartbeat | FrameData | FrameKnowledgeDelta)
 //	payload…
 //
 // Integers are varints (unsigned for sequence numbers, lengths and
@@ -293,6 +293,37 @@ func (r *reader) snapshot() *knowledge.Snapshot {
 }
 
 // ---------------------------------------------------------------------------
+// Knowledge deltas
+// ---------------------------------------------------------------------------
+
+func deltaSize(d *KnowledgeDelta) int {
+	return 3*binary.MaxVarintLen64 + snapshotSize(d.Snap)
+}
+
+// appendDelta lays out the version bookkeeping before the record set, so
+// the fixed-cost liveness header of a near-empty steady-state delta stays
+// a handful of bytes.
+func appendDelta(b []byte, d *KnowledgeDelta) []byte {
+	b = binary.AppendUvarint(b, d.Since)
+	b = binary.AppendUvarint(b, d.Ver)
+	b = binary.AppendUvarint(b, d.Ack)
+	return appendSnapshot(b, d.Snap)
+}
+
+func (r *reader) delta() *KnowledgeDelta {
+	d := &KnowledgeDelta{
+		Since: r.uvarint(),
+		Ver:   r.uvarint(),
+		Ack:   r.uvarint(),
+	}
+	d.Snap = r.snapshot()
+	if r.err != nil {
+		return nil
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
 // Data messages
 // ---------------------------------------------------------------------------
 
@@ -378,6 +409,8 @@ func encodeBinary(f *Frame) ([]byte, error) {
 		size += snapshotSize(f.Heartbeat)
 	case FrameData:
 		size += dataSize(f.Data)
+	case FrameKnowledgeDelta:
+		size += deltaSize(f.Delta)
 	}
 	b := make([]byte, 0, size)
 	b = append(b, magic, version, byte(f.Kind))
@@ -386,6 +419,8 @@ func encodeBinary(f *Frame) ([]byte, error) {
 		b = appendSnapshot(b, f.Heartbeat)
 	case FrameData:
 		b = appendData(b, f.Data)
+	case FrameKnowledgeDelta:
+		b = appendDelta(b, f.Delta)
 	}
 	return b, nil
 }
@@ -407,6 +442,8 @@ func decodeBinary(b []byte) (*Frame, error) {
 		f.Heartbeat = r.snapshot()
 	case FrameData:
 		f.Data = r.data()
+	case FrameKnowledgeDelta:
+		f.Delta = r.delta()
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}

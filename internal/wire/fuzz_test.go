@@ -20,6 +20,12 @@ func seedFrames(tb testing.TB) []*Frame {
 	}
 	v.BeginPeriod()
 	snap := v.Snapshot()
+	baseVer := v.Version()
+	v.BeginPeriod()
+	delta, ok := v.DeltaSince(baseVer)
+	if !ok {
+		tb.Fatal("seed delta not anchorable")
+	}
 	return []*Frame{
 		{Kind: FrameHeartbeat, Heartbeat: snap},
 		{Kind: FrameData, Data: &DataMsg{Origin: 2, Seq: 7, Root: 2, Body: []byte("payload")}},
@@ -32,6 +38,11 @@ func seedFrames(tb testing.TB) []*Frame {
 			Body:        []byte("tree"),
 			Piggyback:   snap,
 		}},
+		// A real partial delta and the full-snapshot fallback form
+		// (Since == 0), so the new frame kind inherits the never-panic
+		// and round-trip invariants.
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9}},
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: v.Snapshot(), Since: 0, Ver: v.Version(), Ack: 0}},
 	}
 }
 
@@ -86,6 +97,9 @@ func framesEqual(a, b *Frame) bool {
 	switch a.Kind {
 	case FrameHeartbeat:
 		return snapshotsEqual(a.Heartbeat, b.Heartbeat)
+	case FrameKnowledgeDelta:
+		return a.Delta.Since == b.Delta.Since && a.Delta.Ver == b.Delta.Ver &&
+			a.Delta.Ack == b.Delta.Ack && snapshotsEqual(a.Delta.Snap, b.Delta.Snap)
 	case FrameData:
 		x, y := a.Data, b.Data
 		if x.Origin != y.Origin || x.Seq != y.Seq || x.Root != y.Root ||

@@ -1,7 +1,10 @@
 // Package wire defines the frame encoding the live runtime puts on a
 // transport: heartbeat frames carrying knowledge snapshots (Algorithm 4's
-// (Λ_k, C_k) exchange) and data frames carrying a broadcast payload plus
-// the sender's MRT and per-edge allocation (Algorithm 1's (m, mrt_j)).
+// (Λ_k, C_k) exchange), knowledge-delta frames carrying only the records
+// that changed since the version the peer last acknowledged (the
+// steady-state heartbeat form; see KnowledgeDelta), and data frames
+// carrying a broadcast payload plus the sender's MRT and per-edge
+// allocation (Algorithm 1's (m, mrt_j)).
 //
 // Encoding is a compact hand-rolled binary format (see binary.go): a
 // 3-byte versioned header followed by varint-coded integers and raw IEEE
@@ -32,7 +35,30 @@ type FrameKind uint8
 const (
 	FrameHeartbeat FrameKind = iota + 1
 	FrameData
+	FrameKnowledgeDelta
 )
+
+// KnowledgeDelta is the delta-heartbeat payload: a partial knowledge
+// snapshot carrying only the records that changed since the sender-view
+// version the recipient last acknowledged, plus the version bookkeeping
+// that drives the ack chain. Snap.From and Snap.Seq identify the sender
+// and its heartbeat sequence exactly as on a full heartbeat, so delta
+// frames feed the same sequence-gap loss accounting.
+//
+// Since is the sender-view version the record set is relative to; 0 means
+// the record set is a full snapshot (the fallback when the recipient's
+// acked version is unknown or predates the sender's current incarnation).
+// Ver is the sender's view version when the delta was cut — the recipient
+// records it and echoes it back as Ack on its own next frame. Ack is the
+// latest version of the *recipient's* view the sender has merged, closing
+// the loop: each side learns what the other holds purely from the
+// periodic heartbeat exchange, with no extra ack messages.
+type KnowledgeDelta struct {
+	Snap  *knowledge.Snapshot
+	Since uint64
+	Ver   uint64
+	Ack   uint64
+}
 
 // DataMsg is one reliable-broadcast data message.
 type DataMsg struct {
@@ -63,6 +89,7 @@ type Frame struct {
 	Kind      FrameKind
 	Heartbeat *knowledge.Snapshot
 	Data      *DataMsg
+	Delta     *KnowledgeDelta
 }
 
 // Encode serializes a frame in the binary wire format.
@@ -119,11 +146,11 @@ func validate(f *Frame) error {
 	}
 	switch f.Kind {
 	case FrameHeartbeat:
-		if f.Heartbeat == nil || f.Data != nil {
+		if f.Heartbeat == nil || f.Data != nil || f.Delta != nil {
 			return errors.New("wire: heartbeat frame payload mismatch")
 		}
 	case FrameData:
-		if f.Data == nil || f.Heartbeat != nil {
+		if f.Data == nil || f.Heartbeat != nil || f.Delta != nil {
 			return errors.New("wire: data frame payload mismatch")
 		}
 		if f.Data.Seq == 0 {
@@ -132,6 +159,13 @@ func validate(f *Frame) error {
 		if len(f.Data.Parents) > 0 && len(f.Data.AllocByNode) != len(f.Data.Parents) {
 			return fmt.Errorf("wire: allocation covers %d nodes, tree has %d",
 				len(f.Data.AllocByNode), len(f.Data.Parents))
+		}
+	case FrameKnowledgeDelta:
+		if f.Delta == nil || f.Delta.Snap == nil || f.Heartbeat != nil || f.Data != nil {
+			return errors.New("wire: knowledge-delta frame payload mismatch")
+		}
+		if f.Delta.Since > f.Delta.Ver {
+			return fmt.Errorf("wire: delta base %d ahead of its version %d", f.Delta.Since, f.Delta.Ver)
 		}
 	default:
 		return fmt.Errorf("wire: unknown frame kind %d", f.Kind)

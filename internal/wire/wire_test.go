@@ -209,3 +209,33 @@ func TestGobCompat(t *testing.T) {
 			100*(1-float64(len(binBytes))/float64(len(gobBytes))))
 	}
 }
+
+// TestDeltaValidate pins the well-formedness rules of the knowledge-delta
+// frame kind in both codec directions.
+func TestDeltaValidate(t *testing.T) {
+	snap := &knowledge.Snapshot{From: 1, Seq: 3}
+	good := &Frame{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 2, Ver: 5, Ack: 7}}
+	b, err := Encode(good)
+	if err != nil {
+		t.Fatalf("well-formed delta rejected: %v", err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Delta.Since != 2 || f.Delta.Ver != 5 || f.Delta.Ack != 7 {
+		t.Fatalf("delta bookkeeping drifted: %+v", f.Delta)
+	}
+
+	bad := []*Frame{
+		{Kind: FrameKnowledgeDelta},                                                       // no payload
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{}},                             // nil record set
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 6, Ver: 5}}, // base ahead of version
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap}, Heartbeat: snap},  // payload mismatch
+	}
+	for i, f := range bad {
+		if _, err := Encode(f); err == nil {
+			t.Errorf("malformed delta %d accepted", i)
+		}
+	}
+}

@@ -118,6 +118,36 @@ func WithPlanCache(enabled bool) Option {
 	return func(c *nodeConfig) { c.inner.DisablePlanCache = !enabled }
 }
 
+// WithDeltaHeartbeats enables or disables delta heartbeats (default
+// enabled). While enabled, each heartbeat ships only the knowledge
+// records that changed since the view version the receiving neighbor
+// last acknowledged — acks ride the reverse heartbeats, so no extra
+// messages are exchanged — with a full-snapshot fallback whenever the
+// neighbor's acked version is unknown or predates this node's current
+// incarnation. Once estimates converge, deltas shrink to a near-empty
+// liveness header; effectiveness is observable via
+// NodeStats.DeltaHeartbeatsSent / HeartbeatBytesSent. Disabling restores
+// full-snapshot heartbeats on every period (benchmarks, or clusters with
+// peers that predate the delta frame kind).
+func WithDeltaHeartbeats(enabled bool) Option {
+	return func(c *nodeConfig) { c.inner.DisableDeltaHeartbeats = !enabled }
+}
+
+// WithForwardCache sizes the forwarder tree cache (default 16 entries;
+// size <= 0 disables it). Received data frames carry their routing tree
+// as a parent vector; the cache lets a forwarder relaying repeated
+// traffic down the same tree reuse one rebuilt tree instead of
+// re-deriving it per frame. Effectiveness is observable via
+// NodeStats.ForwardCacheHits / ForwardCacheMisses.
+func WithForwardCache(size int) Option {
+	return func(c *nodeConfig) {
+		if size <= 0 {
+			size = -1
+		}
+		c.inner.ForwardCacheSize = size
+	}
+}
+
 // WithDeliveryBuffer sizes the delivery buffer (default 128). When the
 // application lags behind by more than the buffer, further deliveries are
 // dropped and counted in NodeStats.DroppedDeliveries.

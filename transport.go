@@ -12,6 +12,26 @@ type Transport = transport.Transport
 // frame slice after returning.
 type Handler = transport.Handler
 
+// BatchSender is the optional transport fast path for sending n logical
+// copies of one frame more cheaply than n Send calls. The contract is
+// that SendN(to, frame, n) behaves exactly like n independent Sends — the
+// receiver's handler runs once per surviving copy and probabilistic
+// transports sample loss per copy — while the transport is free to batch
+// the work (the built-in Fabric delivers all copies from one queue
+// enqueue; TCP coalesces them into a single socket flush). Custom
+// transports need not implement it: the protocol always goes through
+// SendN, which falls back to looping Send.
+type BatchSender = transport.BatchSender
+
+// SendN transmits n logical copies of frame to one peer, using the
+// transport's BatchSender fast path when present and a best-effort loop
+// of Send calls otherwise. It reports how many copies were handed to the
+// transport (a batching transport is all-or-nothing; the fallback loop
+// attempts every copy), with the last failure when sent < n.
+func SendN(t Transport, to NodeID, frame []byte, n int) (sent int, err error) {
+	return transport.SendN(t, to, frame, n)
+}
+
 // Fabric is an in-process "network": it owns one endpoint per node and
 // applies injectable per-link loss probabilities and latency, giving the
 // live node stack the same probabilistic environment the paper's
@@ -37,6 +57,10 @@ type TCP = transport.TCP
 
 // TCPOptions tunes the TCP transport (dial timeout, queue size).
 type TCPOptions = transport.TCPOptions
+
+// TCPStats counts a TCP transport's outbound work (socket flushes,
+// frames, bytes); see TCP.Stats. One SendN batch costs one flush.
+type TCPStats = transport.TCPStats
 
 // DialTCP starts a TCP transport for node `local`, listening on
 // listenAddr (":0" picks an ephemeral port, see TCP.Addr) and able to
