@@ -36,6 +36,11 @@ type ClusterConfig struct {
 	// snapshot every period (see WithDeltaHeartbeats; mainly for
 	// benchmarks and bandwidth comparisons).
 	DisableDeltaHeartbeats bool
+	// AdaptiveCadence, when positive, lets every node stretch heartbeats
+	// toward stable neighbors up to this interval, snapping back to
+	// HeartbeatEvery on any change (see WithAdaptiveCadence). Requires
+	// delta heartbeats (i.e. DisableDeltaHeartbeats unset).
+	AdaptiveCadence time.Duration
 }
 
 // Cluster is a thin convenience layer over Node: one node per process of
@@ -90,6 +95,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if cfg.DisableDeltaHeartbeats {
 			opts = append(opts, WithDeltaHeartbeats(false))
+		}
+		if cfg.AdaptiveCadence > 0 {
+			opts = append(opts, WithAdaptiveCadence(cfg.AdaptiveCadence))
 		}
 		nd, err := NewNode(fabric.Endpoint(id), n, cfg.Topology.Neighbors(id), opts...)
 		if err != nil {

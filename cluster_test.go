@@ -56,6 +56,52 @@ func TestClusterCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestClusterAdaptiveCadence drives the WithAdaptiveCadence plumbing
+// through the cluster facade: a converged stable cluster must send
+// measurably fewer heartbeat frames per period than one period per
+// neighbor, while still knowing the full topology.
+func TestClusterAdaptiveCadence(t *testing.T) {
+	ring, err := adaptivecast.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := adaptivecast.NewCluster(adaptivecast.ClusterConfig{
+		Topology:        ring,
+		HeartbeatEvery:  time.Millisecond,
+		AdaptiveCadence: 8 * time.Millisecond, // 8δ cap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Tick()
+			time.Sleep(time.Millisecond)
+		}
+	}
+	tick(500) // converge and stretch
+	before := 0
+	for i := 0; i < 4; i++ {
+		before += c.Stats(adaptivecast.NodeID(i)).HeartbeatsSent
+	}
+	tick(32)
+	after := 0
+	for i := 0; i < 4; i++ {
+		after += c.Stats(adaptivecast.NodeID(i)).HeartbeatsSent
+	}
+	full := 4 * 2 * 32 // nodes × neighbors × periods at fixed cadence
+	if got := after - before; 2*got > full {
+		t.Errorf("adaptive cluster sent %d frames over 32 periods, want at most half the fixed %d", got, full)
+	}
+	for i := 0; i < 4; i++ {
+		if got := len(c.KnownLinks(adaptivecast.NodeID(i))); got != 4 {
+			t.Errorf("node %d knows %d links under adaptive cadence, want 4", i, got)
+		}
+	}
+}
+
 // TestClusterNodeAccess exercises the thin-layer escape hatch: per-node
 // subscription through the cluster.
 func TestClusterNodeAccess(t *testing.T) {

@@ -24,6 +24,11 @@ type ClusterConfig struct {
 	HeartbeatMillis int `json:"heartbeatMillis"`
 	// Piggyback attaches knowledge snapshots to data frames.
 	Piggyback bool `json:"piggyback"`
+	// AdaptiveCadenceMillis, when positive, lets nodes stretch heartbeats
+	// toward stable neighbors up to this interval (see
+	// adaptivecast.WithAdaptiveCadence); all members must run a wire-v2
+	// build.
+	AdaptiveCadenceMillis int `json:"adaptiveCadenceMillis"`
 	// Nodes lists every member; IDs must be dense 0..n-1.
 	Nodes []NodeSpec `json:"nodes"`
 }

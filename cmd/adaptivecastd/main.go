@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"adaptivecast"
 )
@@ -86,6 +87,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if cc.Piggyback {
 		opts = append(opts, adaptivecast.WithPiggyback())
+	}
+	if cc.AdaptiveCadenceMillis > 0 {
+		opts = append(opts, adaptivecast.WithAdaptiveCadence(
+			time.Duration(cc.AdaptiveCadenceMillis)*time.Millisecond))
 	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {

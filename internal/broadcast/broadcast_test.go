@@ -328,6 +328,58 @@ func TestRunnerHeartbeatAccounting(t *testing.T) {
 	}
 }
 
+// TestRunnerAdaptiveCadenceCutsHeartbeats mirrors the live node's
+// acceptance property on the deterministic simulator: once the views
+// converge and stabilize, the cadence controller must cut heartbeat
+// message counts several-fold versus the fixed schedule, while the
+// views still hold a correct picture of the system.
+func TestRunnerAdaptiveCadenceCutsHeartbeats(t *testing.T) {
+	run := func(cadenceMax int) (steady int, r *Runner) {
+		g, err := topology.Ring(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.New(g)
+		eng := sim.NewEngine(11)
+		net := sim.NewNetwork(eng, cfg, sim.Options{})
+		r, err = NewRunner(net, RunnerOptions{Delta: 1, AdaptiveCadenceMax: cadenceMax}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		eng.RunUntil(600.5) // converge and let the stretch reach its cap
+		before := r.HeartbeatsSent()
+		eng.RunUntil(664.5)
+		steady = r.HeartbeatsSent() - before
+		r.Stop()
+		eng.Run()
+		return steady, r
+	}
+
+	stretched, r := run(8)
+	baseline, _ := run(0)
+	if stretched <= 0 || baseline <= 0 {
+		t.Fatalf("no heartbeats measured: stretched=%d baseline=%d", stretched, baseline)
+	}
+	if 4*stretched > baseline {
+		t.Errorf("adaptive cadence sent %d heartbeats vs %d fixed — want >= 4x fewer (got %.1fx)",
+			stretched, baseline, float64(baseline)/float64(stretched))
+	}
+	// Stability must be real knowledge, not silence: every view still
+	// knows the whole ring.
+	for i, v := range r.Views() {
+		links := 0
+		for li := 0; li < 6; li++ {
+			if _, _, ok := v.LossEstimate(v.Interner().Link(li)); ok {
+				links++
+			}
+		}
+		if links != 6 {
+			t.Errorf("view %d knows %d links under adaptive cadence, want 6", i, links)
+		}
+	}
+}
+
 func TestRunnerCrashSkipsFeedSelfEstimate(t *testing.T) {
 	const crashP = 0.3
 	g, err := topology.Ring(4)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"adaptivecast/internal/cadence"
 	"adaptivecast/internal/knowledge"
 	"adaptivecast/internal/sim"
 	"adaptivecast/internal/topology"
@@ -15,12 +16,16 @@ import (
 const HeartbeatSize = 50 * 1024
 
 // hbPayload is the simulator's heartbeat: the sequence number it was sent
-// with plus read-only access to the sender's view (the simulation fast
-// path; the live runtime serializes knowledge.Snapshot instead, and the
-// equivalence of the two merge paths is unit-tested in package knowledge).
+// with, the sender's declared cadence (the promised gap, in periods,
+// until its next heartbeat to this receiver; 1 = classic), plus
+// read-only access to the sender's view (the simulation fast path; the
+// live runtime serializes knowledge.Snapshot instead, and the
+// equivalence of the two merge paths is unit-tested in package
+// knowledge).
 type hbPayload struct {
-	seq uint64
-	src *knowledge.View
+	seq     uint64
+	cadence int
+	src     *knowledge.View
 }
 
 // RunnerOptions tunes the simulated adaptive cluster.
@@ -42,6 +47,16 @@ type RunnerOptions struct {
 	// messages (the paper's Section 4.1 bandwidth optimization), so
 	// application traffic spreads estimates in addition to heartbeats.
 	Piggyback bool
+	// AdaptiveCadenceMax, in heartbeat periods, caps the adaptive
+	// heartbeat cadence: a process whose view has been stable toward a
+	// neighbor — nothing new to tell it since the last heartbeat, no
+	// suspicion anywhere — geometrically stretches that neighbor's
+	// heartbeat interval up to this cap and snaps back to δ on any
+	// change, mirroring the live node's cadence controller. Receivers
+	// scale their suspicion timeouts and sequence-gap loss accounting by
+	// the declared cadence. Values <= 1 disable stretching (the classic
+	// one heartbeat per δ).
+	AdaptiveCadenceMax int
 }
 
 func (o RunnerOptions) withDefaults() RunnerOptions {
@@ -64,6 +79,27 @@ type Runner struct {
 	procs   []*Proc
 	periods int
 	running bool
+	// cad[i][nb] is process i's adaptive-cadence state toward neighbor
+	// nb; nil when AdaptiveCadenceMax <= 1.
+	cad []map[topology.NodeID]*neighborCadence
+	// hbSent counts heartbeat messages actually sent (after cadence
+	// skips), the frame-count metric adaptive cadence optimizes.
+	hbSent int
+}
+
+// neighborCadence pairs the shared stretch/snap-back state machine
+// (internal/cadence — the same code the live node runs) with the
+// simulator's stability probe anchor: lastVer is the sender-view
+// version when the last heartbeat to that neighbor went out, and the
+// next period is "stable" iff the view is QuiescentSince(lastVer) — no
+// estimate's value moved. (The simulator ships whole views by
+// reference, so there is no ack chain to anchor a live-style delta
+// emptiness test on, and full-view merges churn distortions through
+// aging and re-adoption; the value-quiescence probe is the
+// deterministic analog of the live node's empty delta.)
+type neighborCadence struct {
+	state   *cadence.State
+	lastVer uint64
 }
 
 // nodeProc multiplexes a node's inbound traffic between the knowledge
@@ -83,8 +119,9 @@ func (np *nodeProc) HandleMessage(from topology.NodeID, msg sim.Message) {
 		}
 		// Merge errors cannot occur on the shared-interner fast path;
 		// treat any as a dropped heartbeat (the probabilistic model
-		// already allows drops).
-		_ = np.view.MergeFrom(from, hb.seq, hb.src)
+		// already allows drops). The declared cadence scales the
+		// receiver's expected-arrival accounting.
+		_ = np.view.MergeFromAt(from, hb.seq, hb.cadence, hb.src)
 		return
 	}
 	np.proc.HandleMessage(from, msg)
@@ -101,6 +138,12 @@ func NewRunner(net *sim.Network, opts RunnerOptions, sink func(topology.NodeID, 
 		return nil, errors.New("broadcast: empty network")
 	}
 	r := &Runner{net: net, opts: opts}
+	if opts.AdaptiveCadenceMax > 1 {
+		r.cad = make([]map[topology.NodeID]*neighborCadence, n)
+		for i := range r.cad {
+			r.cad[i] = make(map[topology.NodeID]*neighborCadence)
+		}
+	}
 	interner := knowledge.NewInterner()
 	// Intern the ground-truth links first so view indices align with the
 	// graph's link indices (convergence checks and stats rely on it).
@@ -179,18 +222,55 @@ func (r *Runner) tick() {
 			continue
 		}
 		v.BeginPeriod()
-		pl := hbPayload{seq: v.SelfSeq(), src: v}
+		suspAny := false
+		if r.cad != nil {
+			suspAny = v.AnySuspected()
+		}
 		for _, nb := range g.Neighbors(id) {
+			declared := 1
+			if r.cad != nil {
+				var due bool
+				declared, due = r.cadenceStep(i, nb, suspAny)
+				if !due {
+					continue
+				}
+			}
 			// Send errors cannot occur for topology neighbors.
 			_ = r.net.Send(id, nb, sim.Message{
 				Kind:    sim.KindHeartbeat,
 				Size:    HeartbeatSize,
-				Payload: pl,
+				Payload: hbPayload{seq: v.SelfSeq(), cadence: declared, src: v},
 			})
+			r.hbSent++
 		}
 	}
 	r.net.After(r.opts.Delta, r.tick)
 }
+
+// cadenceStep advances process i's adaptive-cadence controller toward
+// neighbor nb by one period and decides whether a heartbeat is due now
+// (see internal/cadence for the stretch/snap-back policy shared with
+// the live node). Stability is value-quiescence since the last send,
+// with no active suspicion.
+func (r *Runner) cadenceStep(i int, nb topology.NodeID, suspAny bool) (declared int, due bool) {
+	v := r.views[i]
+	nc := r.cad[i][nb]
+	if nc == nil {
+		nc = &neighborCadence{state: cadence.New()}
+		r.cad[i][nb] = nc
+	}
+	stable := !suspAny && nc.lastVer > 0 && v.QuiescentSince(nc.lastVer)
+	declared, due = nc.state.Step(stable, r.opts.AdaptiveCadenceMax)
+	if due {
+		nc.lastVer = v.Version()
+	}
+	return declared, due
+}
+
+// HeartbeatsSent reports the heartbeat messages actually sent across the
+// cluster (after adaptive-cadence skips) — the frame-count metric the
+// cadence controller optimizes.
+func (r *Runner) HeartbeatsSent() int { return r.hbSent }
 
 // AllConverged reports whether every view has learned the ground truth.
 func (r *Runner) AllConverged(crit knowledge.Criterion) bool {

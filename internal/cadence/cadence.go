@@ -1,0 +1,53 @@
+// Package cadence holds the adaptive heartbeat cadence state machine
+// shared by the live node and the deterministic simulator: the two
+// runtimes probe neighborhood stability differently (the node checks
+// for an anchored empty delta, the simulator for value-quiescence of
+// the whole view), but the stretch/snap-back policy itself must be one
+// piece of code so the simulator stays a faithful model of the node.
+package cadence
+
+// StableAfter is how many consecutive stable periods a neighbor must
+// show before its inter-frame interval doubles. Two periods keep the
+// re-stretch after a snap-back cheap while still requiring the
+// stability to persist.
+const StableAfter = 2
+
+// State is the controller's bookkeeping toward one neighbor. The zero
+// value is NOT ready — use New (the interval starts at 1).
+type State struct {
+	interval int // current inter-frame gap in periods (1..max)
+	stable   int // consecutive stable periods observed
+	wait     int // periods left before the next frame is due
+}
+
+// New returns the classic one-frame-per-period state.
+func New() *State { return &State{interval: 1} }
+
+// Interval exposes the current inter-frame gap (tests, introspection).
+func (s *State) Interval() int { return s.interval }
+
+// Step advances the controller by one heartbeat period and decides
+// whether a frame is due now. While the neighborhood is stable the
+// interval doubles every StableAfter stable periods — evaluated at send
+// time, so the returned cadence is always the true gap to the next
+// frame — up to max. Any instability snaps the interval back to one
+// period and makes a frame due immediately.
+func (s *State) Step(stable bool, max int) (cadence int, due bool) {
+	if !stable {
+		s.interval, s.stable, s.wait = 1, 0, 0
+		return 1, true
+	}
+	s.stable++
+	if s.wait > 0 {
+		s.wait--
+		return s.interval, false
+	}
+	if s.stable >= StableAfter && s.interval < max {
+		s.interval *= 2
+		if s.interval > max {
+			s.interval = max
+		}
+	}
+	s.wait = s.interval - 1
+	return s.interval, true
+}

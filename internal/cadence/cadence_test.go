@@ -1,0 +1,60 @@
+package cadence
+
+import "testing"
+
+// TestStepStretchAndSnapBack walks the controller through the canonical
+// lifecycle: full cadence while unstable, geometric doubling to the cap
+// once stability persists, exact wait gaps between sends, and an
+// immediate snap-back to one period on any instability.
+func TestStepStretchAndSnapBack(t *testing.T) {
+	const max = 8
+	s := New()
+
+	// Unstable periods always send at cadence 1.
+	for p := 0; p < 3; p++ {
+		if c, due := s.Step(false, max); c != 1 || !due {
+			t.Fatalf("unstable period %d: (cadence, due) = (%d, %v), want (1, true)", p, c, due)
+		}
+	}
+
+	// Stable run: sends at periods 0,1 (cadence 1), then doubling at
+	// each send — 2, 4, 8, 8 — with interval-1 skips between.
+	wantSends := []int{1, 2, 4, 8, 8}
+	got := []int{}
+	for p := 0; p < 40 && len(got) < len(wantSends); p++ {
+		if c, due := s.Step(true, max); due {
+			got = append(got, c)
+		}
+	}
+	for i, want := range wantSends {
+		if i >= len(got) || got[i] != want {
+			t.Fatalf("stable send cadences = %v, want %v", got, wantSends)
+		}
+	}
+	if s.Interval() != max {
+		t.Errorf("interval = %d after the stable run, want the cap %d", s.Interval(), max)
+	}
+
+	// Snap-back: instability sends immediately at cadence 1 even though
+	// the controller was mid-wait at the cap.
+	if c, due := s.Step(false, max); c != 1 || !due {
+		t.Errorf("snap-back: (cadence, due) = (%d, %v), want (1, true)", c, due)
+	}
+	if s.Interval() != 1 {
+		t.Errorf("interval after snap-back = %d, want 1", s.Interval())
+	}
+}
+
+// TestStepRespectsOddCap pins the clamp: a cap that is not a power of
+// two is reached exactly, never overshot.
+func TestStepRespectsOddCap(t *testing.T) {
+	s := New()
+	for p := 0; p < 60; p++ {
+		if c, _ := s.Step(true, 6); c > 6 {
+			t.Fatalf("cadence %d exceeds cap 6", c)
+		}
+	}
+	if s.Interval() != 6 {
+		t.Errorf("interval = %d, want the odd cap 6", s.Interval())
+	}
+}

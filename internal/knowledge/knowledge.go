@@ -191,10 +191,17 @@ func (t *Interner) Len() int { return len(t.links) }
 type wireSig struct {
 	dirty bool
 	at    uint64 // view version of the last meaningful change
-	mean  float64
-	dist  int
-	gridN int
-	grid0 float64
+	// meanAt is the view version of the last *value* change (mean beyond
+	// DeltaEpsilon, or grid): distortion-only changes advance `at` (they
+	// must re-ship — peers' adoption decisions read distortion) but not
+	// meanAt. QuiescentSince uses meanAt so cadence controllers can treat
+	// distortion churn — aging and re-adoption of an unchanged estimate —
+	// as stability rather than news.
+	meanAt uint64
+	mean   float64
+	dist   int
+	gridN  int
+	grid0  float64
 }
 
 // procState is C_k[p_i]: the estimate one process keeps about another
@@ -217,7 +224,17 @@ type procState struct {
 	suspected   int    // C_k[p_j].suspected: Event 2 firings since last heartbeat
 	timeout     int    // ∆_k[p_j] in periods
 	sinceUpdate int    // periods since this estimate was last refreshed
+	cadence     int    // declared inter-frame gap in periods (0 or 1 = every δ)
 	sig         wireSig
+}
+
+// effCadence is the neighbor's declared heartbeat cadence with the
+// classic one-frame-per-δ default.
+func (ps *procState) effCadence() int {
+	if ps.cadence < 1 {
+		return 1
+	}
+	return ps.cadence
 }
 
 // mutable returns the estimator, cloning it first if it might be shared
@@ -372,7 +389,12 @@ func (v *View) BeginPeriod() {
 		}
 		ps := &v.procs[j]
 		ps.sinceUpdate++
-		if ps.sinceUpdate < ps.timeout {
+		// Expected arrivals scale with the neighbor's declared heartbeat
+		// cadence: a neighbor that promised one frame every c periods is
+		// only "silent" after timeout·c quiet periods, so stretched
+		// neighbors are not falsely suspected. Non-neighbors never declare
+		// a cadence (effCadence() == 1), keeping their aging unchanged.
+		if ps.sinceUpdate < ps.timeout*ps.effCadence() {
 			continue
 		}
 		// Event 2: no update of p_j's estimate for ∆_k[p_j].
@@ -458,16 +480,49 @@ func (v *View) OnRecover(missedTicks int) {
 // explicitly rather than read from src so that in-flight heartbeats keep
 // the sequence they were sent with even if the sender has since moved on.
 func (v *View) MergeFrom(from topology.NodeID, senderSeq uint64, src *View) error {
+	return v.MergeFromAt(from, senderSeq, 1, src)
+}
+
+// MergeFromAt is MergeFrom for a heartbeat declaring a stretched cadence:
+// the sender promises its next frame in `cadence` heartbeat periods, and
+// this view scales its expected-arrival accounting (sequence-gap losses,
+// Event 2 suspicion timeout) for that neighbor accordingly. Cadence 1 is
+// exactly MergeFrom.
+func (v *View) MergeFromAt(from topology.NodeID, senderSeq uint64, cadence int, src *View) error {
 	if src.interner != v.interner {
 		return fmt.Errorf("knowledge: MergeFrom requires a shared interner; use MergeSnapshot")
 	}
 	// reconcileLink always books fresh link evidence, so the view changed
 	// regardless of whether any estimate was adopted.
 	v.version++
-	v.reconcileLink(from, senderSeq)
+	v.reconcileLink(from, senderSeq, cadence)
 	v.mergeEstimates(src)
 	return nil
 }
+
+// Suspected reports whether this view currently suspects neighbor j
+// (Event 2 fired since j's last heartbeat). Non-neighbors are never
+// suspected — their estimates only age.
+func (v *View) Suspected(j topology.NodeID) bool {
+	return v.neighbor[j] && v.procs[j].suspected > 0
+}
+
+// AnySuspected reports whether any direct neighbor is currently
+// suspected. The node's adaptive-cadence controller snaps every
+// neighbor's heartbeat interval back to δ while this holds, so suspicion
+// news always propagates at full cadence.
+func (v *View) AnySuspected() bool {
+	for j := range v.procs {
+		if v.neighbor[j] && v.procs[j].suspected > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NeighborCadence reports the heartbeat cadence neighbor j declared on
+// its last frame (1 = classic), for tests and introspection.
+func (v *View) NeighborCadence(j topology.NodeID) int { return v.procs[j].effCadence() }
 
 // MergeKnowledgeOnly merges the estimates and topology of src without the
 // heartbeat sequence accounting. This is the paper's piggybacking remark
@@ -553,10 +608,29 @@ func bump(d int) int {
 	return d + 1
 }
 
+// maxDeclaredCadence clamps the heartbeat cadence a peer may declare,
+// mirroring wire.MaxCadence (the wire package imports this one, so the
+// bound is restated here): the declared cadence multiplies this view's
+// suspicion timeout for that neighbor, and an unbounded declaration would
+// let a hostile peer suppress its own failure detection forever.
+const maxDeclaredCadence = 256
+
 // reconcileLink performs the sequence-gap accounting of Event 1 for the
 // direct link to the sender (lines 19–25, with the success-evidence fix
 // documented in the package comment).
-func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64) {
+//
+// cadence is the inter-frame gap, in heartbeat periods, the sender
+// declares until its next frame (1 = the paper's classic one heartbeat
+// per δ). The sender consumes one sequence number per period whether or
+// not it sends, so under a declared cadence c the expected sequence gap
+// between consecutive received frames is c, not 1, and the frames lost
+// in a gap g are (g-1)/c — g = c means none, g = 2c means one. Gap
+// accounting uses the cadence the *previous* frame declared (that was
+// the spacing promise covering this gap); the newly declared cadence is
+// stored for the next gap and for Event 2's scaled suspicion timeout. A
+// sender may break its promise by sending early (snap-back on a view
+// change), which books no spurious loss: an early frame only shrinks g.
+func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64, cadence int) {
 	ps := &v.procs[from]
 	ls := v.linkTo(from)
 	if ls == nil {
@@ -576,7 +650,10 @@ func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64) {
 		// First ever contact: the gap to seq 0 reflects the receiver
 		// joining late, not losses; book no failure evidence.
 	case senderSeq > ps.lastSeq:
-		missed = int(senderSeq - ps.lastSeq - 1)
+		// Divide the raw sequence gap by the promised spacing so a
+		// stretched neighbor is not over-counted as lossy: the skipped
+		// periods consumed sequence numbers but carried no frames.
+		missed = int(senderSeq-ps.lastSeq-1) / ps.effCadence()
 	default:
 		// senderSeq <= lastSeq means the sender restarted its sequencer
 		// after a crash (volatile memory); no detectable gap.
@@ -595,6 +672,12 @@ func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64) {
 	ps.suspected = 0
 	ps.lastSeq = senderSeq
 	ps.sinceUpdate = 0
+	if cadence < 1 {
+		cadence = 1
+	} else if cadence > maxDeclaredCadence {
+		cadence = maxDeclaredCadence
+	}
+	ps.cadence = cadence
 }
 
 // CrashEstimate returns the current point estimate of P_i and its

@@ -144,14 +144,19 @@ func (v *View) refreshSigs() {
 // refreshSig clears one dirty bit, stamping the record iff its content
 // drifted beyond the last stamped signature. Drift is measured against
 // the mean at the last stamp, not the previous period's, so sub-epsilon
-// movements cannot accumulate into unbounded divergence.
+// movements cannot accumulate into unbounded divergence. Value changes
+// (mean or grid) additionally stamp meanAt, the quiescence watermark
+// that ignores distortion-only churn.
 func refreshSig(sig *wireSig, est *bayes.Estimator, dist int, eps float64, ver uint64) {
 	sig.dirty = false
 	gridN, grid0 := est.GridSignature()
 	mean := est.Mean()
-	if sig.at != 0 && dist == sig.dist && gridN == sig.gridN && grid0 == sig.grid0 &&
-		math.Abs(mean-sig.mean) <= eps {
+	valueMoved := gridN != sig.gridN || grid0 != sig.grid0 || math.Abs(mean-sig.mean) > eps
+	if sig.at != 0 && dist == sig.dist && !valueMoved {
 		return
+	}
+	if sig.at == 0 || valueMoved {
+		sig.meanAt = ver
 	}
 	sig.at = ver
 	sig.mean = mean
@@ -160,17 +165,51 @@ func refreshSig(sig *wireSig, est *bayes.Estimator, dist int, eps float64, ver u
 	sig.grid0 = grid0
 }
 
+// QuiescentSince reports whether no estimate's *value* — posterior mean
+// beyond DeltaEpsilon, or grid — changed after version base. Unlike an
+// empty DeltaSince, distortion-only changes (aging, re-adoption of the
+// same estimate over a different route) do not break quiescence: they
+// re-ship on deltas but carry no new measurement. Cadence controllers on
+// merge paths that exchange whole views (the simulator) use this as
+// their stability probe; base 0 or a base from a previous incarnation is
+// never quiescent.
+func (v *View) QuiescentSince(base uint64) bool {
+	if base == 0 || base > v.version {
+		return false
+	}
+	v.refreshSigs()
+	for i := range v.procs {
+		ps := &v.procs[i]
+		if ps.dist != DistInf && ps.sig.meanAt > base {
+			return false
+		}
+	}
+	for _, ls := range v.links {
+		if ls != nil && ls.sig.meanAt > base {
+			return false
+		}
+	}
+	return true
+}
+
 // MergeSnapshot is Event 1 over a serialized heartbeat (live-runtime
 // path). It performs exactly the sequence reconciliation and
 // best-estimate selection of MergeFrom.
 func (v *View) MergeSnapshot(s *Snapshot) error {
+	return v.MergeSnapshotAt(s, 1)
+}
+
+// MergeSnapshotAt is MergeSnapshot for a heartbeat declaring a stretched
+// cadence (see MergeFromAt): the sender's sequence-gap loss accounting
+// and suspicion timeout are scaled by the declared inter-frame gap.
+func (v *View) MergeSnapshotAt(s *Snapshot, cadence int) error {
 	if err := v.checkSnapshot(s); err != nil {
 		return err
 	}
 	// reconcileLink always books fresh link evidence for the sender's
 	// link, so the view changed even when no estimate was adopted.
 	v.version++
-	v.reconcileLink(s.From, s.Seq)
+	v.reconcileLink(s.From, s.Seq, cadence)
 	_, err := v.mergeSnapshotEstimates(s)
 	return err
 }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptivecast/internal/cadence"
 	"adaptivecast/internal/config"
 	"adaptivecast/internal/dedup"
 	"adaptivecast/internal/knowledge"
@@ -59,13 +60,13 @@ type Stats struct {
 	HeartbeatBytesSent  int // encoded heartbeat bytes handed to the transport
 	DataSent            int
 	DataReceived        int
-	Delivered           int
+	Delivered           int // deliveries actually enqueued for the application
 	DroppedDeliveries   int // deliveries discarded because the channel was full
 	SuppressedReplays   int // redeliveries filtered by the durable dedup log
 	FallbackFloods      int // broadcasts flooded for lack of a connected view
 	DecodeErrors        int // frames that failed wire decoding
 	SnapshotMergeErrors int // well-formed frames whose knowledge snapshot the view rejected
-	LogErrors           int // dedup-log write failures (delivery degrades to at-least-once)
+	LogErrors           int // durable-write failures: dedup log records and seq-lease extensions
 	PlanCacheHits       int // broadcasts that reused the cached (tree, allocation) plan
 	PlanCacheMisses     int // broadcasts that had to replan because the view changed
 	ForwardCacheHits    int // received data frames whose tree came from the forwarder cache
@@ -184,6 +185,20 @@ type Config struct {
 	// mrt.Tree instead of re-deriving it per frame. 0 means the default
 	// (16 entries); negative disables the cache.
 	ForwardCacheSize int
+	// AdaptiveCadenceMax caps the adaptive heartbeat cadence, in
+	// heartbeat periods: once a neighbor's delta has been empty, anchored
+	// and suspicion-free for a few consecutive periods, the node
+	// geometrically stretches that neighbor's heartbeat interval
+	// (1δ → 2δ → 4δ …) up to this cap, and snaps back to δ the moment
+	// anything changes — a non-empty delta, any suspicion, or a neighbor
+	// needing the full-snapshot fallback. The stretched interval rides
+	// the delta frame's Cadence field so the receiver scales its
+	// suspicion timeout and sequence-gap loss accounting instead of
+	// falsely suspecting (or under-counting) a quiet-by-design neighbor.
+	// Values <= 1 disable stretching (the default); adaptive cadence
+	// requires delta heartbeats and all peers to understand wire
+	// version 2 frames.
+	AdaptiveCadenceMax int
 	// Hooks are optional instrumentation callbacks.
 	Hooks Hooks
 	// Now injects a clock for tests (default time.Now).
@@ -203,6 +218,9 @@ func (c Config) withDefaults() Config {
 	if c.ForwardCacheSize == 0 {
 		c.ForwardCacheSize = defaultForwardCacheSize
 	}
+	if c.AdaptiveCadenceMax > wire.MaxCadence {
+		c.AdaptiveCadenceMax = wire.MaxCadence
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -221,6 +239,11 @@ type plan struct {
 	planned int
 	err     error
 }
+
+// seqLeaseBatch is how far ahead of the issued broadcast sequence the
+// persisted floor runs. One durable write buys this many broadcasts, and
+// a crash wastes at most this much of the (unbounded) sequence space.
+const seqLeaseBatch = 1 << 10
 
 // Node is one live process.
 type Node struct {
@@ -258,6 +281,21 @@ type Node struct {
 	// fwdCache memoizes trees rebuilt from received parent vectors; nil
 	// when disabled.
 	fwdCache *forwardCache
+
+	// cadMu guards the adaptive-cadence controller state (a leaf lock
+	// taken once per Tick; nothing is called while holding it). cad[j]
+	// tracks the stretch toward neighbor j; nil when adaptive cadence is
+	// off.
+	cadMu sync.Mutex
+	cad   map[topology.NodeID]*cadence.State
+
+	// seqLease is the broadcast sequence floor currently persisted in
+	// stable storage: always >= any issued seq, so a crash can never lead
+	// to sequence reuse (which peers' dedup watermarks would silently
+	// censor). Broadcasts that catch up with the lease extend it
+	// synchronously under leaseMu before the new seq escapes the node.
+	seqLease atomic.Uint64
+	leaseMu  sync.Mutex
 
 	stats counters
 
@@ -303,8 +341,17 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.ForwardCacheSize > 0 {
 		n.fwdCache = newForwardCache(cfg.ForwardCacheSize)
 	}
+	if cfg.AdaptiveCadenceMax > 1 && !cfg.DisableDeltaHeartbeats {
+		n.cad = make(map[topology.NodeID]*cadence.State, len(cfg.Neighbors))
+	}
+	// Resume broadcast sequencing above anything this node may have
+	// issued before a crash — the persisted sequence floor and/or the
+	// dedup log's high-water mark — so post-recovery broadcasts get fresh
+	// IDs instead of being silently censored by every live peer's dedup
+	// watermark.
+	var resume uint64
 	if cfg.Storage != nil {
-		mark, ok, err := cfg.Storage.LoadMark()
+		mark, seqFloor, ok, err := cfg.Storage.LoadMark()
 		if err != nil {
 			return nil, err
 		}
@@ -313,13 +360,16 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 			if missed > 0 {
 				view.OnRecover(missed)
 			}
+			resume = seqFloor
+			n.seqLease.Store(seqFloor)
 		}
 	}
 	if cfg.DedupLog != nil {
-		// Resume broadcast sequencing above anything this node originated
-		// before a crash, so post-recovery broadcasts get fresh IDs.
-		n.seq.Store(cfg.DedupLog.MaxSeq(cfg.ID))
+		if m := cfg.DedupLog.MaxSeq(cfg.ID); m > resume {
+			resume = m
+		}
 	}
+	n.seq.Store(resume)
 	tr.SetHandler(n.handle)
 	return n, nil
 }
@@ -428,10 +478,17 @@ func (n *Node) Tick() {
 	var outs []outbound
 	var full *knowledge.Snapshot
 	var ver uint64
+	var suspAny bool
 
 	n.viewMu.Lock()
 	n.view.BeginPeriod()
 	ver = n.view.Version()
+	if n.cad != nil {
+		// Suspicion state must be read after BeginPeriod (which is where
+		// Event 2 raises suspicions), so a suspicion snaps cadence back to
+		// δ within the same period it fires.
+		suspAny = n.view.AnySuspected()
+	}
 	if n.cfg.DisableDeltaHeartbeats {
 		full = n.view.Snapshot()
 	} else {
@@ -466,8 +523,16 @@ func (n *Node) Tick() {
 
 	if n.cfg.Storage != nil {
 		// A failed mark is not fatal: it only degrades the crash
-		// self-estimate after the next restart.
-		_ = n.cfg.Storage.SaveMark(n.cfg.Now())
+		// self-estimate after the next restart. The persisted sequence
+		// floor is the current lease, never the raw issued seq — the lease
+		// invariant (floor >= every issued seq) must survive the write, so
+		// the load+write pair is serialized under leaseMu against
+		// concurrent extensions from Broadcast: an unordered write here
+		// could clobber a freshly extended (and already relied-upon) lease
+		// with a stale floor.
+		n.leaseMu.Lock()
+		_ = n.cfg.Storage.SaveMark(n.cfg.Now(), n.seqLease.Load())
+		n.leaseMu.Unlock()
 	}
 
 	if n.cfg.DisableDeltaHeartbeats {
@@ -488,11 +553,26 @@ func (n *Node) Tick() {
 
 	sent, deltas := 0, 0
 	for _, o := range outs {
+		declared := 1
+		if n.cad != nil {
+			// The controller sees the neighborhood state every period —
+			// including skipped ones — so a snap-back trigger (non-empty or
+			// unanchored delta, any suspicion) re-enables the δ cadence and
+			// sends within the same period it appears.
+			stable := o.since > 0 && !suspAny &&
+				len(o.snap.Procs) == 0 && len(o.snap.Links) == 0
+			var due bool
+			declared, due = n.cadenceStep(o.to, stable)
+			if !due {
+				continue
+			}
+		}
 		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameKnowledgeDelta, Delta: &wire.KnowledgeDelta{
-			Snap:  o.snap,
-			Since: o.since,
-			Ver:   ver,
-			Ack:   seen[o.to],
+			Snap:    o.snap,
+			Since:   o.since,
+			Ver:     ver,
+			Ack:     seen[o.to],
+			Cadence: uint64(declared),
 		}})
 		if err != nil {
 			continue
@@ -507,6 +587,22 @@ func (n *Node) Tick() {
 	}
 	n.stats.heartbeatsSent.Add(int64(sent))
 	n.stats.deltaHeartbeatsSent.Add(int64(deltas))
+}
+
+// cadenceStep advances the adaptive-cadence controller for one neighbor
+// by one heartbeat period and decides whether a frame is due now (see
+// internal/cadence for the stretch/snap-back policy). Stability here
+// means the delta to this neighbor is anchored and empty, and no
+// neighbor is suspected.
+func (n *Node) cadenceStep(to topology.NodeID, stable bool) (declared int, due bool) {
+	n.cadMu.Lock()
+	defer n.cadMu.Unlock()
+	st := n.cad[to]
+	if st == nil {
+		st = cadence.New()
+		n.cad[to] = st
+	}
+	return st.Step(stable, n.cfg.AdaptiveCadenceMax)
 }
 
 // Broadcast initiates a reliable broadcast (Algorithm 1). It returns the
@@ -524,8 +620,10 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 		return 0, 0, errors.New("node: stopped")
 	}
 	seq = n.seq.Add(1)
+	if n.cfg.Storage != nil {
+		n.ensureSeqLease(seq)
+	}
 	n.delivered.mark(n.cfg.ID, seq)
-	n.stats.delivered.Add(1)
 	if n.cfg.DedupLog != nil {
 		if _, err := n.cfg.DedupLog.Record(dedup.ID{Origin: n.cfg.ID, Seq: seq}); err != nil {
 			n.stats.logErrors.Add(1)
@@ -550,9 +648,33 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 	if p.err == nil {
 		err = n.forward(p.tree, msg)
 	} else {
-		err = n.flood(msg)
+		err = n.flood(msg, topology.None) // originator flood: every neighbor
 	}
 	return seq, planned, err
+}
+
+// ensureSeqLease extends the persisted broadcast sequence floor so it
+// stays ahead of the issued sequence: the floor must be durable *before*
+// a leased seq can escape the node, or a crash could re-issue it and
+// peers' dedup watermarks would censor the recovered node. One durable
+// write covers seqLeaseBatch broadcasts; a failed write is counted
+// (LogErrors) and delivery degrades to the pre-lease behavior for this
+// batch rather than failing the broadcast.
+func (n *Node) ensureSeqLease(seq uint64) {
+	if seq <= n.seqLease.Load() {
+		return
+	}
+	n.leaseMu.Lock()
+	defer n.leaseMu.Unlock()
+	if seq <= n.seqLease.Load() {
+		return // another broadcast extended the lease meanwhile
+	}
+	lease := seq + seqLeaseBatch
+	if err := n.cfg.Storage.SaveMark(n.cfg.Now(), lease); err != nil {
+		n.stats.logErrors.Add(1)
+		return
+	}
+	n.seqLease.Store(lease)
 }
 
 // currentPlan returns the broadcast plan for the node's current view,
@@ -688,16 +810,23 @@ func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 	return nil
 }
 
-// flood sends one copy to every neighbor (warm-up fallback). Error
-// semantics match forward.
-func (n *Node) flood(msg *wire.DataMsg) error {
+// flood sends one copy to every neighbor except `except` (topology.None
+// floods everyone). Originator floods cover all neighbors; relay floods
+// exclude the inbound sender — echoing the frame back to whoever just
+// sent it wastes a frame per hop and, with piggybacking, re-merges our
+// own snapshot. Error semantics match forward.
+func (n *Node) flood(msg *wire.DataMsg, except topology.NodeID) error {
 	frame, err := n.encodeData(msg)
 	if err != nil {
 		return err
 	}
-	sent := 0
+	attempted, sent := 0, 0
 	var lastErr error
 	for _, nb := range n.cfg.Neighbors {
+		if nb == except {
+			continue
+		}
+		attempted++
 		if err := n.tr.Send(nb, frame); err == nil {
 			sent++
 		} else {
@@ -705,8 +834,8 @@ func (n *Node) flood(msg *wire.DataMsg) error {
 		}
 	}
 	n.stats.dataSent.Add(int64(sent))
-	if len(n.cfg.Neighbors) > 0 && sent == 0 {
-		return fmt.Errorf("node: all %d floods failed: %w", len(n.cfg.Neighbors), lastErr)
+	if attempted > 0 && sent == 0 {
+		return fmt.Errorf("node: all %d floods failed: %w", attempted, lastErr)
 	}
 	return nil
 }
@@ -760,7 +889,10 @@ func (n *Node) handleDelta(from topology.NodeID, d *wire.KnowledgeDelta) {
 		return
 	}
 	n.viewMu.Lock()
-	err := n.view.MergeSnapshot(d.Snap)
+	// The declared cadence scales this view's expected-arrival accounting
+	// for the sender: suspicion timeout and sequence-gap loss bookkeeping
+	// both divide by the promised inter-frame gap.
+	err := n.view.MergeSnapshotAt(d.Snap, int(d.Cadence))
 	n.viewMu.Unlock()
 	if err != nil {
 		n.stats.snapshotMergeErrors.Add(1)
@@ -821,14 +953,15 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 		}
 	}
 	if deliver {
-		n.stats.delivered.Add(1)
 		n.pushDelivery(Delivery{Origin: msg.Origin, Seq: msg.Seq, From: from, Body: msg.Body})
 	}
 
 	if len(msg.Parents) == 0 {
-		// Flood errors mean a knowledge-snapshot failed to encode; the
-		// message was already delivered locally, so just drop the relay.
-		_ = n.flood(msg)
+		// Relay flood: exclude the inbound sender, who by construction
+		// already has the frame. Flood errors mean a knowledge-snapshot
+		// failed to encode; the message was already delivered locally, so
+		// just drop the relay.
+		_ = n.flood(msg, from)
 		return
 	}
 	tree, err := n.treeFromParents(msg.Root, msg.Parents)
@@ -864,10 +997,14 @@ func (n *Node) treeFromParents(root topology.NodeID, parents []topology.NodeID) 
 }
 
 // pushDelivery hands a delivery to the application without blocking the
-// receive path; overflow is dropped and counted.
+// receive path; overflow is dropped and counted. Delivered counts only
+// what was actually enqueued for the application — a message that hits a
+// full buffer is a drop, not a delivery, so the two counters partition
+// the outcomes instead of double-counting them.
 func (n *Node) pushDelivery(d Delivery) {
 	select {
 	case n.deliveries <- d:
+		n.stats.delivered.Add(1)
 		if n.cfg.Hooks.OnDeliver != nil {
 			n.cfg.Hooks.OnDeliver(d)
 		}

@@ -3,7 +3,9 @@ package node
 import (
 	"fmt"
 	"math"
+	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -11,6 +13,11 @@ import (
 	"adaptivecast/internal/topology"
 	"adaptivecast/internal/transport"
 )
+
+// writeLegacyMark writes a pre-seq-floor mark file (timestamp only).
+func writeLegacyMark(path string, t time.Time) error {
+	return os.WriteFile(path, []byte(strconv.FormatInt(t.UnixNano(), 10)+"\n"), 0o644)
+}
 
 // buildCluster wires one node per process of g over a shared fabric.
 // Nodes are not started; tests pace them with Tick for determinism.
@@ -32,6 +39,9 @@ func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg
 			if over.Storage != nil {
 				c.Storage = over.Storage
 			}
+			if over.DedupLog != nil {
+				c.DedupLog = over.DedupLog
+			}
 			if over.DeliveryBuffer != 0 {
 				c.DeliveryBuffer = over.DeliveryBuffer
 			}
@@ -43,6 +53,12 @@ func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg
 			}
 			if over.ForwardCacheSize != 0 {
 				c.ForwardCacheSize = over.ForwardCacheSize
+			}
+			if over.AdaptiveCadenceMax != 0 {
+				c.AdaptiveCadenceMax = over.AdaptiveCadenceMax
+			}
+			if over.Knowledge.DeltaEpsilon != 0 {
+				c.Knowledge = over.Knowledge
 			}
 		}
 		nd, err := New(c, fabric.Endpoint(topology.NodeID(i)))
@@ -286,19 +302,38 @@ func TestCrashRecoveryViaStableStorage(t *testing.T) {
 func TestFileStorage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "mark")
 	fs := NewFileStorage(path)
-	if _, ok, err := fs.LoadMark(); err != nil || ok {
+	if _, _, ok, err := fs.LoadMark(); err != nil || ok {
 		t.Fatalf("empty storage: ok=%v err=%v", ok, err)
 	}
 	want := time.Unix(123456, 789)
-	if err := fs.SaveMark(want); err != nil {
+	if err := fs.SaveMark(want, 42); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := fs.LoadMark()
+	got, seq, ok, err := fs.LoadMark()
 	if err != nil || !ok {
 		t.Fatalf("load: ok=%v err=%v", ok, err)
 	}
 	if !got.Equal(want) {
 		t.Errorf("mark = %v, want %v", got, want)
+	}
+	if seq != 42 {
+		t.Errorf("seq floor = %d, want 42", seq)
+	}
+}
+
+// TestFileStorageLegacyFormat keeps pre-seq mark files loadable: a file
+// holding just the timestamp reads back with sequence floor 0.
+func TestFileStorageLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mark")
+	if err := writeLegacyMark(path, time.Unix(99, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, ok, err := NewFileStorage(path).LoadMark()
+	if err != nil || !ok {
+		t.Fatalf("legacy load: ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(time.Unix(99, 0)) || seq != 0 {
+		t.Errorf("legacy mark = (%v, %d), want (%v, 0)", got, seq, time.Unix(99, 0))
 	}
 }
 
@@ -343,6 +378,67 @@ func TestDeliveryOverflowCounted(t *testing.T) {
 	}
 	if nodes[0].Stats().DroppedDeliveries == 0 {
 		t.Error("overflow not counted")
+	}
+}
+
+// TestRelayFloodExcludesSender pins the warm-up relay fix: a tree-less
+// (flooded) message is re-flooded to every neighbor *except* the one it
+// came from — echoing it back wastes a frame per hop and re-merges the
+// relay's own piggyback. The originator's flood still covers everyone.
+func TestRelayFloodExcludesSender(t *testing.T) {
+	g, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nodes := buildCluster(t, g, fabric, nil)
+
+	// No heartbeats: the broadcast floods. 0 → 1 → 2 down the line.
+	if _, _, err := nodes[0].Broadcast([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range nodes {
+		d := waitDelivery(t, nd)
+		if string(d.Body) != "warmup" {
+			t.Fatalf("node %d delivery = %+v", i, d)
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // let relays drain
+	// The originator floods its 1 neighbor; the middle relay must send
+	// only onward to node 2 (1 frame, not 2); the end node has nobody
+	// left once its inbound sender is excluded.
+	if got := nodes[0].Stats().DataSent; got != 1 {
+		t.Errorf("originator sent %d data frames, want 1", got)
+	}
+	if got := nodes[1].Stats().DataSent; got != 1 {
+		t.Errorf("relay sent %d data frames, want 1 (must not echo to its sender)", got)
+	}
+	if got := nodes[2].Stats().DataSent; got != 0 {
+		t.Errorf("end node sent %d data frames, want 0", got)
+	}
+}
+
+// TestDeliveredCountsOnlyEnqueued pins the stats fix: a delivery that
+// hits a full buffer is a drop, not a delivery — the two counters
+// partition outcomes instead of both incrementing for the same message.
+func TestDeliveredCountsOnlyEnqueued(t *testing.T) {
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	nd, err := New(Config{ID: 0, NumProcs: 1, DeliveryBuffer: 1}, fabric.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	for i := 0; i < 3; i++ {
+		if _, _, err := nd.Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := nd.Stats()
+	if st.Delivered != 1 || st.DroppedDeliveries != 2 {
+		t.Errorf("Delivered=%d Dropped=%d, want 1 and 2 (counters must partition outcomes)",
+			st.Delivered, st.DroppedDeliveries)
 	}
 }
 

@@ -9,17 +9,26 @@ import (
 	"time"
 )
 
-// StableStorage persists the periodic clock mark the paper uses to
-// estimate a process's own crash probability (Section 4.1): the process
-// writes the current time every period; after a crash it compares the
-// last mark with the current clock to count the missed intervals
-// (Event 4).
+// StableStorage persists the small per-node crash-recovery record: the
+// periodic clock mark the paper uses to estimate a process's own crash
+// probability (Section 4.1) — the process writes the current time every
+// period and, after a crash, compares the last mark with the clock to
+// count the missed intervals (Event 4) — plus the broadcast sequence
+// floor. The floor is the highest sequence number this incarnation may
+// have issued; a restarted node resumes its sequencer above it, because
+// re-issuing pre-crash sequence numbers would make every live peer's
+// dedup watermark silently suppress the recovered node's broadcasts
+// forever. The floor is maintained as a lease (see Node.ensureSeqLease):
+// it is bumped in batches ahead of the issued sequence, so the sequencer
+// can crash at any instant and still resume safely without a durable
+// write per broadcast.
 type StableStorage interface {
-	// SaveMark records the latest alive-timestamp.
-	SaveMark(t time.Time) error
-	// LoadMark returns the last recorded timestamp; ok is false when
-	// nothing was ever recorded.
-	LoadMark() (t time.Time, ok bool, err error)
+	// SaveMark records the latest alive-timestamp and the broadcast
+	// sequence floor (0 when the node never broadcast).
+	SaveMark(t time.Time, seqFloor uint64) error
+	// LoadMark returns the last recorded timestamp and sequence floor;
+	// ok is false when nothing was ever recorded.
+	LoadMark() (t time.Time, seqFloor uint64, ok bool, err error)
 }
 
 // MemStorage is an in-memory StableStorage for tests and simulations of
@@ -27,24 +36,25 @@ type StableStorage interface {
 type MemStorage struct {
 	mu   sync.Mutex
 	mark time.Time
+	seq  uint64
 	set  bool
 }
 
 var _ StableStorage = (*MemStorage)(nil)
 
 // SaveMark implements StableStorage.
-func (m *MemStorage) SaveMark(t time.Time) error {
+func (m *MemStorage) SaveMark(t time.Time, seqFloor uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.mark, m.set = t, true
+	m.mark, m.seq, m.set = t, seqFloor, true
 	return nil
 }
 
 // LoadMark implements StableStorage.
-func (m *MemStorage) LoadMark() (time.Time, bool, error) {
+func (m *MemStorage) LoadMark() (time.Time, uint64, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.mark, m.set, nil
+	return m.mark, m.seq, m.set, nil
 }
 
 // FileStorage persists the mark in a small text file — the minimal stable
@@ -59,10 +69,10 @@ var _ StableStorage = (*FileStorage)(nil)
 func NewFileStorage(path string) *FileStorage { return &FileStorage{path: path} }
 
 // SaveMark implements StableStorage: an atomic write of the timestamp in
-// nanoseconds.
-func (f *FileStorage) SaveMark(t time.Time) error {
+// nanoseconds followed by the sequence floor.
+func (f *FileStorage) SaveMark(t time.Time, seqFloor uint64) error {
 	tmp := f.path + ".tmp"
-	data := strconv.FormatInt(t.UnixNano(), 10) + "\n"
+	data := strconv.FormatInt(t.UnixNano(), 10) + " " + strconv.FormatUint(seqFloor, 10) + "\n"
 	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
 		return fmt.Errorf("node: storage write: %w", err)
 	}
@@ -72,18 +82,29 @@ func (f *FileStorage) SaveMark(t time.Time) error {
 	return nil
 }
 
-// LoadMark implements StableStorage.
-func (f *FileStorage) LoadMark() (time.Time, bool, error) {
+// LoadMark implements StableStorage. Files written before the sequence
+// floor existed hold just the timestamp; they load with floor 0.
+func (f *FileStorage) LoadMark() (time.Time, uint64, bool, error) {
 	data, err := os.ReadFile(f.path)
 	if os.IsNotExist(err) {
-		return time.Time{}, false, nil
+		return time.Time{}, 0, false, nil
 	}
 	if err != nil {
-		return time.Time{}, false, fmt.Errorf("node: storage read: %w", err)
+		return time.Time{}, 0, false, fmt.Errorf("node: storage read: %w", err)
 	}
-	ns, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return time.Time{}, 0, false, fmt.Errorf("node: storage parse: empty mark file")
+	}
+	ns, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return time.Time{}, false, fmt.Errorf("node: storage parse: %w", err)
+		return time.Time{}, 0, false, fmt.Errorf("node: storage parse: %w", err)
 	}
-	return time.Unix(0, ns), true, nil
+	var seq uint64
+	if len(fields) > 1 {
+		if seq, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return time.Time{}, 0, false, fmt.Errorf("node: storage parse: %w", err)
+		}
+	}
+	return time.Unix(0, ns), seq, true, nil
 }

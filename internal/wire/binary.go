@@ -11,12 +11,21 @@ import (
 	"adaptivecast/internal/topology"
 )
 
-// Binary framing v1 (see the README "Wire format" section):
+// Binary framing (see the README "Wire format" section):
 //
 //	[0] magic 0xAC
-//	[1] version (1)
+//	[1] version (1 or 2)
 //	[2] kind (FrameHeartbeat | FrameData | FrameKnowledgeDelta)
 //	payload…
+//
+// Version 2 differs from version 1 in exactly one place: a knowledge-
+// delta payload carries one extra Cadence uvarint after the
+// {Since, Ver, Ack} header. The encoder emits version 2 only for delta
+// frames whose cadence is actually stretched (Cadence > 1); everything
+// else — all heartbeat and data frames, and every classic one-frame-per-δ
+// delta — stays a version-1 frame, byte-identical to what pre-cadence
+// peers emit and decode. Old peers therefore interoperate untouched
+// unless an operator turns adaptive cadence on against them.
 //
 // Integers are varints (unsigned for sequence numbers, lengths and
 // counts; zigzag for node IDs, distortions and allocations, which can be
@@ -29,6 +38,7 @@ import (
 const (
 	magic       = 0xAC
 	version     = 1
+	version2    = 2 // delta frames carrying a stretched Cadence
 	headerSize  = 3
 	flagUniform = 1 << 0 // estimator state: midpoints are the uniform grid
 	flagRefined = 0      // (midpoints explicit; no flag bits set)
@@ -297,24 +307,34 @@ func (r *reader) snapshot() *knowledge.Snapshot {
 // ---------------------------------------------------------------------------
 
 func deltaSize(d *KnowledgeDelta) int {
-	return 3*binary.MaxVarintLen64 + snapshotSize(d.Snap)
+	return 4*binary.MaxVarintLen64 + snapshotSize(d.Snap)
 }
 
 // appendDelta lays out the version bookkeeping before the record set, so
 // the fixed-cost liveness header of a near-empty steady-state delta stays
-// a handful of bytes.
-func appendDelta(b []byte, d *KnowledgeDelta) []byte {
+// a handful of bytes. The cadence uvarint exists only in version-2 frames
+// (stretched cadence); version-1 frames imply cadence 1.
+func appendDelta(b []byte, d *KnowledgeDelta, ver byte) []byte {
 	b = binary.AppendUvarint(b, d.Since)
 	b = binary.AppendUvarint(b, d.Ver)
 	b = binary.AppendUvarint(b, d.Ack)
+	if ver >= version2 {
+		b = binary.AppendUvarint(b, d.Cadence)
+	}
 	return appendSnapshot(b, d.Snap)
 }
 
-func (r *reader) delta() *KnowledgeDelta {
+func (r *reader) delta(ver byte) *KnowledgeDelta {
 	d := &KnowledgeDelta{
-		Since: r.uvarint(),
-		Ver:   r.uvarint(),
-		Ack:   r.uvarint(),
+		Since:   r.uvarint(),
+		Ver:     r.uvarint(),
+		Ack:     r.uvarint(),
+		Cadence: 1,
+	}
+	if ver >= version2 {
+		if d.Cadence = r.uvarint(); d.Cadence == 0 {
+			d.Cadence = 1 // 0 and 1 both mean the classic one frame per δ
+		}
 	}
 	d.Snap = r.snapshot()
 	if r.err != nil {
@@ -404,6 +424,7 @@ func (r *reader) data() *DataMsg {
 
 func encodeBinary(f *Frame) ([]byte, error) {
 	size := headerSize
+	ver := byte(version)
 	switch f.Kind {
 	case FrameHeartbeat:
 		size += snapshotSize(f.Heartbeat)
@@ -411,16 +432,21 @@ func encodeBinary(f *Frame) ([]byte, error) {
 		size += dataSize(f.Data)
 	case FrameKnowledgeDelta:
 		size += deltaSize(f.Delta)
+		if f.Delta.Cadence > 1 {
+			// Only a stretched cadence needs the v2 layout; the classic
+			// one-frame-per-δ delta stays byte-identical to v1 peers.
+			ver = version2
+		}
 	}
 	b := make([]byte, 0, size)
-	b = append(b, magic, version, byte(f.Kind))
+	b = append(b, magic, ver, byte(f.Kind))
 	switch f.Kind {
 	case FrameHeartbeat:
 		b = appendSnapshot(b, f.Heartbeat)
 	case FrameData:
 		b = appendData(b, f.Data)
 	case FrameKnowledgeDelta:
-		b = appendDelta(b, f.Delta)
+		b = appendDelta(b, f.Delta, ver)
 	}
 	return b, nil
 }
@@ -432,7 +458,7 @@ func decodeBinary(b []byte) (*Frame, error) {
 	if b[0] != magic {
 		return nil, fmt.Errorf("wire: bad magic %#x", b[0])
 	}
-	if b[1] != version {
+	if b[1] != version && b[1] != version2 {
 		return nil, fmt.Errorf("wire: unsupported version %d", b[1])
 	}
 	f := &Frame{Kind: FrameKind(b[2])}
@@ -443,7 +469,7 @@ func decodeBinary(b []byte) (*Frame, error) {
 	case FrameData:
 		f.Data = r.data()
 	case FrameKnowledgeDelta:
-		f.Delta = r.delta()
+		f.Delta = r.delta(b[1])
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}

@@ -43,6 +43,9 @@ func seedFrames(tb testing.TB) []*Frame {
 		// and round-trip invariants.
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9}},
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: v.Snapshot(), Since: 0, Ver: v.Version(), Ack: 0}},
+		// A stretched-cadence delta: the only frame shape that encodes as
+		// wire version 2.
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Cadence: 8}},
 	}
 }
 
@@ -98,8 +101,17 @@ func framesEqual(a, b *Frame) bool {
 	case FrameHeartbeat:
 		return snapshotsEqual(a.Heartbeat, b.Heartbeat)
 	case FrameKnowledgeDelta:
+		// Cadence 0 and 1 are the same declaration (one frame per δ), so
+		// they compare equal across a round-trip.
+		normCad := func(c uint64) uint64 {
+			if c == 0 {
+				return 1
+			}
+			return c
+		}
 		return a.Delta.Since == b.Delta.Since && a.Delta.Ver == b.Delta.Ver &&
-			a.Delta.Ack == b.Delta.Ack && snapshotsEqual(a.Delta.Snap, b.Delta.Snap)
+			a.Delta.Ack == b.Delta.Ack && normCad(a.Delta.Cadence) == normCad(b.Delta.Cadence) &&
+			snapshotsEqual(a.Delta.Snap, b.Delta.Snap)
 	case FrameData:
 		x, y := a.Data, b.Data
 		if x.Origin != y.Origin || x.Seq != y.Seq || x.Root != y.Root ||

@@ -53,12 +53,31 @@ const (
 // latest version of the *recipient's* view the sender has merged, closing
 // the loop: each side learns what the other holds purely from the
 // periodic heartbeat exchange, with no extra ack messages.
+//
+// Cadence declares, in heartbeat periods, the gap the sender plans until
+// its next frame to this recipient (the adaptive-cadence stretch; see
+// the node's cadence controller). 0 and 1 both mean one frame per period
+// — the classic cadence — and encode as a version-1 frame, byte-identical
+// to pre-cadence peers' wire format; Cadence > 1 rides a version-2 frame,
+// and the receiver scales its expected-arrival accounting (suspicion
+// timeouts and sequence-gap loss bookkeeping) by it so a stretched
+// neighbor is neither falsely suspected nor over-counted as lossy. A
+// sender may break the promise early (snap back on a view change), which
+// is always safe: an early frame shows a smaller-than-declared gap, which
+// books no loss.
 type KnowledgeDelta struct {
-	Snap  *knowledge.Snapshot
-	Since uint64
-	Ver   uint64
-	Ack   uint64
+	Snap    *knowledge.Snapshot
+	Since   uint64
+	Ver     uint64
+	Ack     uint64
+	Cadence uint64
 }
+
+// MaxCadence bounds the declared heartbeat cadence a frame may carry.
+// The receiver multiplies its suspicion timeout by the declared cadence,
+// so an unbounded value would let a hostile peer suppress its own failure
+// detection forever; 256 periods is far beyond any sane stretch cap.
+const MaxCadence = 256
 
 // DataMsg is one reliable-broadcast data message.
 type DataMsg struct {
@@ -166,6 +185,9 @@ func validate(f *Frame) error {
 		}
 		if f.Delta.Since > f.Delta.Ver {
 			return fmt.Errorf("wire: delta base %d ahead of its version %d", f.Delta.Since, f.Delta.Ver)
+		}
+		if f.Delta.Cadence > MaxCadence {
+			return fmt.Errorf("wire: cadence %d exceeds the %d-period bound", f.Delta.Cadence, MaxCadence)
 		}
 	default:
 		return fmt.Errorf("wire: unknown frame kind %d", f.Kind)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"adaptivecast/internal/knowledge"
@@ -232,10 +233,58 @@ func TestDeltaValidate(t *testing.T) {
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{}},                             // nil record set
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 6, Ver: 5}}, // base ahead of version
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap}, Heartbeat: snap},  // payload mismatch
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Ver: 2,
+			Cadence: MaxCadence + 1}}, // cadence beyond the suspicion-scaling bound
 	}
 	for i, f := range bad {
 		if _, err := Encode(f); err == nil {
 			t.Errorf("malformed delta %d accepted", i)
 		}
+	}
+}
+
+// TestCadenceWireVersioning pins the adaptive-cadence wire contract: an
+// unstretched delta (Cadence absent, 0 or 1) must stay a byte-identical
+// version-1 frame — what pre-cadence peers emit and decode — while a
+// stretched delta rides a version-2 frame that round-trips its cadence.
+func TestCadenceWireVersioning(t *testing.T) {
+	snap := &knowledge.Snapshot{From: 1, Seq: 3}
+	base := &Frame{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 2, Ver: 5, Ack: 7}}
+	v1, err := Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1[1] != 1 {
+		t.Fatalf("unstretched delta encoded as wire version %d, want 1", v1[1])
+	}
+	one := &Frame{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 2, Ver: 5, Ack: 7, Cadence: 1}}
+	if b, err := Encode(one); err != nil {
+		t.Fatal(err)
+	} else if !bytes.Equal(b, v1) {
+		t.Errorf("cadence-1 delta not byte-identical to the pre-cadence layout:\n%x\n%x", b, v1)
+	}
+
+	stretched := &Frame{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: snap, Since: 2, Ver: 5, Ack: 7, Cadence: 8}}
+	v2, err := Encode(stretched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[1] != 2 {
+		t.Fatalf("stretched delta encoded as wire version %d, want 2", v2[1])
+	}
+	got, err := Decode(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delta.Cadence != 8 || got.Delta.Since != 2 || got.Delta.Ver != 5 || got.Delta.Ack != 7 {
+		t.Fatalf("stretched delta drifted: %+v", got.Delta)
+	}
+	// And the v1 frame decodes with the implied classic cadence.
+	got1, err := Decode(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Delta.Cadence != 1 {
+		t.Errorf("v1 delta decoded with cadence %d, want implied 1", got1.Delta.Cadence)
 	}
 }

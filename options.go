@@ -66,6 +66,10 @@ type Observer struct {
 type nodeConfig struct {
 	inner node.Config
 	obs   Observer
+	// adaptiveCadence is WithAdaptiveCadence's cap, kept as a duration
+	// until every option has run: the conversion to whole heartbeat
+	// periods needs the final δ, and options apply in caller order.
+	adaptiveCadence time.Duration
 }
 
 // Option configures a Node at construction time.
@@ -131,6 +135,29 @@ func WithPlanCache(enabled bool) Option {
 // peers that predate the delta frame kind).
 func WithDeltaHeartbeats(enabled bool) Option {
 	return func(c *nodeConfig) { c.inner.DisableDeltaHeartbeats = !enabled }
+}
+
+// WithAdaptiveCadence stretches heartbeats for stable neighborhoods:
+// once a neighbor's knowledge delta has been empty, anchored and
+// suspicion-free for a few consecutive periods, that neighbor's
+// heartbeat interval doubles geometrically (δ → 2δ → 4δ …) up to max,
+// and snaps back to δ within one period of any change — a non-empty
+// delta, a suspicion anywhere in the neighborhood, or a peer needing the
+// full-snapshot fallback after a restart. In a converged cluster this
+// cuts steady-state heartbeat *frame counts* by roughly δ/max (the
+// frames themselves are already near-empty under delta heartbeats).
+//
+// The stretched interval rides the wire (the delta frame's Cadence
+// field, wire version 2), and receivers scale their suspicion timeouts
+// and sequence-gap loss accounting by the sender's declared cadence, so
+// stretched neighbors are neither falsely suspected nor miscounted as
+// lossy. The trade-off is failure-detection latency on stretched links:
+// a crashed neighbor is suspected after timeout·cadence periods instead
+// of timeout. max is rounded down to whole heartbeat periods (values
+// below 2δ disable stretching); adaptive cadence requires delta
+// heartbeats (the default) and peers that understand wire version 2.
+func WithAdaptiveCadence(max time.Duration) Option {
+	return func(c *nodeConfig) { c.adaptiveCadence = max }
 }
 
 // WithForwardCache sizes the forwarder tree cache (default 16 entries;
