@@ -798,3 +798,42 @@ func BenchmarkForwardFanout(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEpochRebuild measures the cost of one membership epoch change
+// on a running cluster — Cluster.AddNode end to end: topology growth,
+// joiner construction (estimator allocation for the grown ID space), the
+// join announcement, and the epoch adoption (cache invalidation, peer
+// re-anchoring) at every member. The cluster is rebuilt every 16 joins
+// with the timer paused so the measured work stays a constant-size join,
+// not an ever-growing cluster.
+func BenchmarkEpochRebuild(b *testing.B) {
+	const joinsPerCluster = 16
+	var c *adaptivecast.Cluster
+	rebuild := func() {
+		if c != nil {
+			_ = c.Close()
+		}
+		ring, err := adaptivecast.Ring(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err = adaptivecast.NewCluster(adaptivecast.ClusterConfig{Topology: ring})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Tick() // one period so views hold initial link knowledge
+	}
+	rebuild()
+	defer func() { _ = c.Close() }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%joinsPerCluster == 0 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		if _, err := c.AddNode(adaptivecast.NodeID(i%8), adaptivecast.NodeID((i+3)%8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

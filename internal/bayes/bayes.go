@@ -18,6 +18,7 @@
 package bayes
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -38,21 +39,52 @@ type grid struct {
 	logSucc []float64 // log(1-mid), cached
 }
 
+// maxCachedGrids bounds the uniform-grid memo table. Well-behaved
+// systems use a handful of interval counts (one U per deployment, plus
+// test sizes), but the count comes off the wire: without a bound, a
+// hostile or misconfigured peer cycling through distinct huge interval
+// counts would grow the table — three O(U) slices per entry — without
+// limit. Far beyond any legitimate variety, far below any memory risk.
+const maxCachedGrids = 64
+
 var (
-	gridsMu sync.Mutex
-	grids   = map[int]*grid{} // uniform grids, keyed by interval count
+	gridsMu  sync.Mutex
+	grids    = map[int]*list.Element{} // uniform grids, keyed by interval count
+	gridsLRU = list.New()              // front = most recently used gridEntry
 )
 
-// uniformGrid returns the shared uniform grid with u intervals.
+type gridEntry struct {
+	u int
+	g *grid
+}
+
+// uniformGrid returns the shared uniform grid with u intervals, memoized
+// in a bounded LRU: the hot sizes (a deployment's U, the estimators a
+// cluster actually exchanges) stay cached, while one-off hostile sizes
+// age out instead of accumulating. An evicted grid still works — any
+// estimator holding it keeps it alive; only the sharing is lost.
 func uniformGrid(u int) *grid {
 	gridsMu.Lock()
 	defer gridsMu.Unlock()
-	if g, ok := grids[u]; ok {
-		return g
+	if el, ok := grids[u]; ok {
+		gridsLRU.MoveToFront(el)
+		return el.Value.(*gridEntry).g
 	}
 	g := gridFromMids(uniformMids(u))
-	grids[u] = g
+	grids[u] = gridsLRU.PushFront(&gridEntry{u: u, g: g})
+	for gridsLRU.Len() > maxCachedGrids {
+		oldest := gridsLRU.Back()
+		gridsLRU.Remove(oldest)
+		delete(grids, oldest.Value.(*gridEntry).u)
+	}
 	return g
+}
+
+// cachedGrids reports the memo table size (tests).
+func cachedGrids() int {
+	gridsMu.Lock()
+	defer gridsMu.Unlock()
+	return gridsLRU.Len()
 }
 
 // uniformMids returns the paper's midpoints (2u-1)/2U.

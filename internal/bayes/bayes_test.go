@@ -248,3 +248,26 @@ func TestMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestUniformGridCacheBounded pins the satellite fix: the uniform-grid
+// memo table is a bounded LRU, so a peer cycling through distinct huge
+// interval counts cannot grow it without limit, and a hot size stays
+// cached across the churn.
+func TestUniformGridCacheBounded(t *testing.T) {
+	hot := uniformGrid(DefaultIntervals)
+	for u := 1000; u < 1000+4*maxCachedGrids; u++ {
+		_ = uniformGrid(u)
+		// Keep the hot grid recently used, like a live cluster would.
+		if uniformGrid(DefaultIntervals) != hot {
+			t.Fatal("hot grid evicted while in constant use")
+		}
+	}
+	if got := cachedGrids(); got > maxCachedGrids {
+		t.Errorf("grid cache grew to %d entries, bound is %d", got, maxCachedGrids)
+	}
+	// An evicted size still works — it just re-derives the grid.
+	e := MustNew(1000)
+	if e.Intervals() != 1000 {
+		t.Errorf("evicted-size estimator has %d intervals, want 1000", e.Intervals())
+	}
+}

@@ -135,6 +135,37 @@ func (c *Config) Lambda(pred, child topology.NodeID) (float64, error) {
 	return 1 - r, nil
 }
 
+// Grow re-syncs the configuration's dense state with a graph that gained
+// nodes and/or links since construction (a membership epoch change): new
+// crash entries start at probability 0 and new link entries at loss 0,
+// exactly like New. Link *removals* must be mirrored with RemoveLinkAt
+// before Grow, or the index alignment is lost. The live node rebuilds
+// fresh configurations per replan (knowledge.View.EstimatedConfig), so
+// Grow/RemoveLinkAt serve long-lived ground-truth configurations — the
+// simulator-side membership work tracked on the ROADMAP; the alignment
+// contract is pinned by TestGrowAndRemoveLinkAtMirrorGraph.
+func (c *Config) Grow() {
+	for len(c.crash) < c.graph.NumNodes() {
+		c.crash = append(c.crash, 0)
+	}
+	for len(c.loss) < c.graph.NumLinks() {
+		c.loss = append(c.loss, 0)
+	}
+}
+
+// RemoveLinkAt mirrors topology.Graph.RemoveLink's swap-removal on the
+// dense loss slice: the last entry moves into the freed slot. Call it with
+// the removedIdx the graph returned, immediately after the graph mutation.
+func (c *Config) RemoveLinkAt(removedIdx int) error {
+	last := len(c.loss) - 1
+	if removedIdx < 0 || removedIdx > last {
+		return fmt.Errorf("config: link index %d out of range [0,%d]", removedIdx, last)
+	}
+	c.loss[removedIdx] = c.loss[last]
+	c.loss = c.loss[:last]
+	return nil
+}
+
 // Clone returns a deep copy of the configuration (sharing the graph, which
 // is treated as immutable once experiments start).
 func (c *Config) Clone() *Config {

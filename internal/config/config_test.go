@@ -220,3 +220,57 @@ func TestLambdaComplementProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGrowAndRemoveLinkAtMirrorGraph pins the alignment contract between
+// a mutating topology and its configuration: Grow appends zeroed entries
+// for new nodes/links, and RemoveLinkAt mirrors the graph's swap-removal
+// so loss values keep following their links across membership changes.
+func TestGrowAndRemoveLinkAtMirrorGraph(t *testing.T) {
+	g, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(g)
+	for i := 0; i < g.NumLinks(); i++ {
+		if err := c.SetLoss(i, float64(i+1)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Grow: a joiner with one link; the new entries start at zero.
+	id := g.AddNode()
+	if _, err := g.AddLink(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Grow()
+	if c.Crash(id) != 0 {
+		t.Errorf("new node crash = %v, want 0", c.Crash(id))
+	}
+	if got, err := c.LossBetween(id, 0); err != nil || got != 0 {
+		t.Errorf("new link loss = (%v, %v), want (0, nil)", got, err)
+	}
+
+	// Remove a middle link: the graph swap-moves the last link into the
+	// freed slot and the config must mirror it, keeping every surviving
+	// link's loss value addressable by its (possibly new) index.
+	want := make(map[topology.Link]float64)
+	for i := 0; i < g.NumLinks(); i++ {
+		want[g.Link(i)] = c.Loss(i)
+	}
+	removedIdx, _, err := g.RemoveLink(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveLinkAt(removedIdx); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, topology.NewLink(1, 2))
+	for i := 0; i < g.NumLinks(); i++ {
+		if got := c.Loss(i); got != want[g.Link(i)] {
+			t.Errorf("after swap-removal, link %v loss = %v, want %v", g.Link(i), got, want[g.Link(i)])
+		}
+	}
+	if err := c.RemoveLinkAt(99); err == nil {
+		t.Error("out-of-range RemoveLinkAt should fail")
+	}
+}

@@ -219,6 +219,7 @@ type procState struct {
 	est         *bayes.Estimator
 	shared      bool // est may be referenced by another view: clone before mutating
 	refined     bool // AutoRefine already re-gridded this estimator
+	departed    bool // tombstoned by a membership epoch change; never shipped or aged
 	dist        int
 	lastSeq     uint64 // C_k[p_j].seq: last heartbeat sequence received (neighbors)
 	suspected   int    // C_k[p_j].suspected: Event 2 firings since last heartbeat
@@ -273,16 +274,17 @@ func (ls *linkState) mutable() *bayes.Estimator {
 // MergeSnapshot. It is not safe for concurrent use; the live node wraps
 // it in a mutex.
 type View struct {
-	self     topology.NodeID
-	n        int
-	params   Params
-	interner *Interner
-	procs    []procState
-	links    []*linkState // indexed by interner index; nil = unknown link
-	neighbor []bool       // direct neighbors of self
-	selfSeq  uint64       // heartbeat sequencer C_k[p_k].seq
-	version  uint64       // monotonic mutation counter, see Version
-	sigVer   uint64       // version the wire signatures were last refreshed at
+	self      topology.NodeID
+	n         int
+	params    Params
+	interner  *Interner
+	procs     []procState
+	links     []*linkState // indexed by interner index; nil = unknown link
+	neighbor  []bool       // direct neighbors of self
+	nDeparted int          // tombstoned processes; 0 keeps membership checks off hot paths
+	selfSeq   uint64       // heartbeat sequencer C_k[p_k].seq
+	version   uint64       // monotonic mutation counter, see Version
+	sigVer    uint64       // version the wire signatures were last refreshed at
 }
 
 // NewView builds the initial view of process self in a system of n
@@ -354,6 +356,94 @@ func (v *View) Version() uint64 { return v.version }
 // Interner exposes the link index table (shared in simulations).
 func (v *View) Interner() *Interner { return v.interner }
 
+// Grow extends the view's process space to newN (a membership epoch added
+// nodes): new processes start from the uniform prior with infinite
+// distortion, exactly like unknown processes at construction. Shrinking is
+// not supported — departed processes are tombstoned with MarkDeparted so
+// NodeID-indexed state never moves. Growing bumps the view version (the
+// membership change invalidates derived plans).
+func (v *View) Grow(newN int) {
+	if newN <= v.n {
+		return
+	}
+	for i := v.n; i < newN; i++ {
+		v.procs = append(v.procs, procState{
+			est:     bayes.MustNew(v.params.Intervals),
+			dist:    DistInf,
+			timeout: v.params.InitialTimeout,
+		})
+		v.neighbor = append(v.neighbor, false)
+	}
+	v.n = newN
+	v.version++
+}
+
+// MarkDeparted tombstones a process that left the membership: its record
+// is dropped from every future snapshot and delta (so heartbeats carry no
+// state for it and the ack chain stays gap-free), it is never aged or
+// suspected again, inbound records naming it are ignored (a stale peer
+// cannot resurrect it), and every known link incident to it is forgotten
+// so estimated configurations route around it. Tombstoning an unknown or
+// already-departed ID is a no-op; the version is bumped only on change.
+func (v *View) MarkDeparted(id topology.NodeID) {
+	if id < 0 || int(id) >= v.n || id == v.self || v.procs[id].departed {
+		return
+	}
+	ps := &v.procs[id]
+	ps.departed = true
+	ps.suspected = 0
+	ps.sig.dirty = false
+	v.neighbor[id] = false
+	v.nDeparted++
+	for idx := range v.links {
+		if v.links[idx] == nil {
+			continue
+		}
+		if l := v.interner.Link(idx); l.A == id || l.B == id {
+			v.links[idx] = nil
+		}
+	}
+	v.version++
+}
+
+// Departed reports whether id was tombstoned by a membership change.
+func (v *View) Departed(id topology.NodeID) bool {
+	return id >= 0 && int(id) < v.n && v.procs[id].departed
+}
+
+// AddNeighbor registers a new direct neighbor (a joiner whose announced
+// links include self): the link is learned with zero distortion so the
+// estimated configuration includes it immediately, before the first
+// heartbeat arrives. Re-adding an existing neighbor is a no-op; adding a
+// departed or out-of-range process is an error.
+func (v *View) AddNeighbor(nb topology.NodeID) error {
+	if nb == v.self || nb < 0 || int(nb) >= v.n {
+		return fmt.Errorf("knowledge: invalid neighbor %d", nb)
+	}
+	if v.procs[nb].departed {
+		return fmt.Errorf("knowledge: neighbor %d is departed", nb)
+	}
+	if v.neighbor[nb] {
+		return nil
+	}
+	v.neighbor[nb] = true
+	idx := v.interner.Intern(topology.NewLink(v.self, nb))
+	v.ensureLinks(idx)
+	if v.links[idx] == nil {
+		v.links[idx] = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0, sig: wireSig{dirty: true}}
+	} else {
+		v.links[idx].dist = 0
+		v.links[idx].sig.dirty = true
+	}
+	// The neighbor's sequence accounting restarts from scratch: the first
+	// frame books no gap (lastSeq 0) and suspicion state is clean.
+	v.procs[nb].lastSeq = 0
+	v.procs[nb].suspected = 0
+	v.procs[nb].sinceUpdate = 0
+	v.version++
+	return nil
+}
+
 // IsNeighbor reports whether j is a direct neighbor of self.
 func (v *View) IsNeighbor(j topology.NodeID) bool { return v.neighbor[j] }
 
@@ -388,6 +478,9 @@ func (v *View) BeginPeriod() {
 			continue
 		}
 		ps := &v.procs[j]
+		if ps.departed {
+			continue // tombstoned: never aged or suspected again
+		}
 		ps.sinceUpdate++
 		// Expected arrivals scale with the neighbor's declared heartbeat
 		// cadence: a neighbor that promised one frame every c periods is
@@ -548,18 +641,46 @@ func (v *View) MergeKnowledgeOnly(src *View) error {
 // reports whether any estimate was adopted or link learned.
 func (v *View) mergeEstimates(src *View) bool {
 	changed := false
+	// depCheck keeps the tombstone filtering — per-record branches and an
+	// interner lookup per link — entirely off the merge fast path while no
+	// membership change has ever happened (the common, static case).
+	depCheck := v.nDeparted > 0 || src.nDeparted > 0
 	// Processes: take the most accurate estimate for each (Algorithm 3).
-	for i := range v.procs {
+	// Views may disagree on |Π| mid-epoch-change; merge the common prefix.
+	// Tombstoned records are never adopted — a stale peer cannot resurrect
+	// a departed member.
+	np := len(v.procs)
+	if len(src.procs) < np {
+		np = len(src.procs)
+	}
+	for i := 0; i < np; i++ {
+		if depCheck && (v.procs[i].departed || src.procs[i].departed) {
+			continue
+		}
 		if v.adoptProc(&v.procs[i], &src.procs[i]) {
 			changed = true
 		}
 	}
 
 	// Links: for common links take the best estimate; adopt new links
-	// outright with bumped distortion (lines 28–33).
+	// outright with bumped distortion (lines 28–33). Links incident to a
+	// departed process stay forgotten, and links naming processes beyond
+	// this view's ID space (src grew first, mid-epoch-change) are skipped
+	// like the proc loop's prefix bound — adopting one would poison
+	// EstimatedConfig until this view grows.
+	sizeCheck := len(src.procs) > len(v.procs)
 	for idx, theirs := range src.links {
 		if theirs == nil {
 			continue
+		}
+		if depCheck || sizeCheck {
+			l := src.interner.Link(idx)
+			if int(l.B) >= v.n { // canonical A < B: one bound check suffices
+				continue
+			}
+			if depCheck && (v.Departed(l.A) || v.Departed(l.B)) {
+				continue
+			}
 		}
 		v.ensureLinks(idx)
 		mine := v.links[idx]
@@ -714,7 +835,9 @@ func (v *View) LinkEstimator(l topology.Link) *bayes.Estimator {
 // the MRT and optimize() machinery: the graph contains every known link,
 // crash probabilities are posterior means (unknown processes keep the
 // uniform-prior mean 0.5, which steers the MRT away from them until news
-// arrives), and loss probabilities are posterior means.
+// arrives), and loss probabilities are posterior means. Departed
+// processes are tombstoned in the materialized graph (their links were
+// already forgotten by MarkDeparted), so trees span only live members.
 func (v *View) EstimatedConfig() (*topology.Graph, *config.Config, error) {
 	g := topology.New(v.n)
 	for i, ls := range v.links {
@@ -726,8 +849,18 @@ func (v *View) EstimatedConfig() (*topology.Graph, *config.Config, error) {
 			return nil, nil, err
 		}
 	}
+	for i := range v.procs {
+		if v.procs[i].departed {
+			if err := g.RemoveNode(topology.NodeID(i)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
 	c := config.New(g)
 	for i := range v.procs {
+		if v.procs[i].departed {
+			continue
+		}
 		if err := c.SetCrash(topology.NodeID(i), v.procs[i].est.Mean()); err != nil {
 			return nil, nil, err
 		}
@@ -767,6 +900,9 @@ var DefaultCriterion = Criterion{Slack: 2, MinBelief: 0.1}
 func (v *View) ConvergedTo(truth *config.Config, crit Criterion) bool {
 	g := truth.Graph()
 	for i := range v.procs {
+		if v.procs[i].departed || !g.Active(topology.NodeID(i)) {
+			continue // departed members are not part of the ground truth
+		}
 		if v.procs[i].dist == DistInf {
 			return false
 		}

@@ -43,7 +43,7 @@ func (v *View) Snapshot() *Snapshot {
 	s := &Snapshot{From: v.self, Seq: v.selfSeq}
 	for i := range v.procs {
 		ps := &v.procs[i]
-		if ps.dist == DistInf {
+		if ps.dist == DistInf || ps.departed {
 			continue
 		}
 		s.Procs = append(s.Procs, ProcRecord{
@@ -92,7 +92,7 @@ func (v *View) DeltaSince(base uint64) (s *Snapshot, ok bool) {
 	s = &Snapshot{From: v.self, Seq: v.selfSeq}
 	for i := range v.procs {
 		ps := &v.procs[i]
-		if ps.dist == DistInf || ps.sig.at <= base {
+		if ps.dist == DistInf || ps.departed || ps.sig.at <= base {
 			continue
 		}
 		s.Procs = append(s.Procs, ProcRecord{
@@ -240,6 +240,9 @@ func (v *View) checkSnapshot(s *Snapshot) error {
 	if s.From == v.self {
 		return fmt.Errorf("knowledge: refusing to merge own snapshot")
 	}
+	if v.procs[s.From].departed {
+		return fmt.Errorf("knowledge: snapshot from departed process %d", s.From)
+	}
 	return nil
 }
 
@@ -247,11 +250,15 @@ func (v *View) checkSnapshot(s *Snapshot) error {
 // process and link records (Algorithm 4 lines 26–33, wire path),
 // reporting whether any estimate was adopted or link learned.
 func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
+	depCheck := v.nDeparted > 0 // keep tombstone filtering off the static fast path
 	for _, pr := range s.Procs {
 		if pr.ID < 0 || int(pr.ID) >= v.n {
 			return changed, fmt.Errorf("knowledge: snapshot names unknown process %d", pr.ID)
 		}
 		mine := &v.procs[pr.ID]
+		if depCheck && mine.departed {
+			continue // a stale peer cannot resurrect a tombstoned member
+		}
 		if pr.Dist >= mine.dist {
 			continue
 		}
@@ -270,6 +277,9 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 	for _, lr := range s.Links {
 		if lr.Link.A < 0 || int(lr.Link.B) >= v.n || lr.Link.A == lr.Link.B {
 			return changed, fmt.Errorf("knowledge: snapshot carries invalid link %v", lr.Link)
+		}
+		if depCheck && (v.Departed(lr.Link.A) || v.Departed(lr.Link.B)) {
+			continue // links to departed members stay forgotten
 		}
 		idx := v.interner.Intern(topology.NewLink(lr.Link.A, lr.Link.B))
 		v.ensureLinks(idx)

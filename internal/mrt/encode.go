@@ -22,6 +22,12 @@ func (t *Tree) Parents() []topology.NodeID {
 // which may differ from the original Prim insertion order — callers that
 // ship per-edge data across the wire must key it by child node, not by
 // edge index (see wire.DataMsg.AllocByNode).
+//
+// A non-root slot holding None is a tombstoned process (removed in an
+// earlier epoch): it is excluded from the tree but keeps its slot, so
+// NodeID-keyed lookups against the vector stay aligned. A node whose
+// parent chain passes through a tombstoned slot is unreachable, which
+// fails the spanning check like any other malformed vector.
 func FromParents(root topology.NodeID, parents []topology.NodeID) (*Tree, error) {
 	n := len(parents)
 	if n == 0 {
@@ -41,6 +47,7 @@ func FromParents(root topology.NodeID, parents []topology.NodeID) (*Tree, error)
 		edgeOf:   make([]int, n),
 	}
 	copy(t.parent, parents)
+	spanned := 1 // the root
 	for v := 0; v < n; v++ {
 		t.edgeOf[v] = -1
 		id := topology.NodeID(v)
@@ -48,16 +55,20 @@ func FromParents(root topology.NodeID, parents []topology.NodeID) (*Tree, error)
 			continue
 		}
 		p := parents[v]
-		if p == topology.None || p < 0 || int(p) >= n {
+		if p == topology.None {
+			continue // tombstoned slot: not part of the tree
+		}
+		if p < 0 || int(p) >= n {
 			return nil, fmt.Errorf("mrt: node %d has invalid parent %d", v, p)
 		}
 		t.children[p] = append(t.children[p], id)
+		spanned++
 	}
 	for v := range t.children {
 		sort.Slice(t.children[v], func(i, j int) bool { return t.children[v][i] < t.children[v][j] })
 	}
 	// BFS assigns order and edge indices; it also detects cycles and
-	// unreachable nodes (both leave order short of n).
+	// unreachable nodes (both leave order short of the spanned count).
 	t.order = append(t.order, root)
 	for qi := 0; qi < len(t.order); qi++ {
 		for _, ch := range t.children[t.order[qi]] {
@@ -65,8 +76,8 @@ func FromParents(root topology.NodeID, parents []topology.NodeID) (*Tree, error)
 			t.order = append(t.order, ch)
 		}
 	}
-	if len(t.order) != n {
-		return nil, fmt.Errorf("mrt: parent vector is not a spanning tree (%d of %d reachable)", len(t.order), n)
+	if len(t.order) != spanned {
+		return nil, fmt.Errorf("mrt: parent vector is not a spanning tree (%d of %d reachable)", len(t.order), spanned)
 	}
 	return t, nil
 }

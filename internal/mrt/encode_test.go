@@ -57,8 +57,17 @@ func TestFromParentsRejectsMalformed(t *testing.T) {
 	if _, err := FromParents(0, []topology.NodeID{1, 0}); err == nil {
 		t.Error("root with a parent should fail")
 	}
-	if _, err := FromParents(0, []topology.NodeID{topology.None, topology.None}); err == nil {
-		t.Error("orphan node should fail")
+	// A non-root None slot is a tombstoned (departed) process, not an
+	// error: the tree spans only the remaining nodes.
+	if tomb, err := FromParents(0, []topology.NodeID{topology.None, topology.None}); err != nil {
+		t.Errorf("tombstoned slot should be accepted: %v", err)
+	} else if tomb.NumEdges() != 0 || tomb.NumNodes() != 2 {
+		t.Errorf("tombstoned vector: %d edges over %d slots, want 0 over 2", tomb.NumEdges(), tomb.NumNodes())
+	}
+	// A node whose parent chain runs through a tombstoned slot is
+	// unreachable and still rejected.
+	if _, err := FromParents(0, []topology.NodeID{topology.None, topology.None, 1}); err == nil {
+		t.Error("child of tombstoned slot should fail")
 	}
 	if _, err := FromParents(0, []topology.NodeID{topology.None, 9}); err == nil {
 		t.Error("out-of-range parent should fail")

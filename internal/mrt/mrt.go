@@ -71,15 +71,18 @@ func (h *crossHeap) Pop() interface{} {
 }
 
 // Build computes mrt(G, C) rooted at root using the modified Prim's
-// algorithm of Appendix B. It returns ErrDisconnected if some process is
-// unreachable from root.
+// algorithm of Appendix B. The tree spans every *active* process of g —
+// tombstoned processes (departed members of earlier epochs) keep their
+// slot in the parent vector with parent None but are neither visited nor
+// required for connectivity. It returns ErrDisconnected if some active
+// process is unreachable from root.
 func Build(g *topology.Graph, c *config.Config, root topology.NodeID) (*Tree, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("mrt: empty topology")
 	}
-	if root < 0 || int(root) >= n {
-		return nil, fmt.Errorf("mrt: root %d out of range [0,%d)", root, n)
+	if !g.Active(root) {
+		return nil, fmt.Errorf("mrt: root %d out of range [0,%d) or removed", root, n)
 	}
 	if c.Graph() != g {
 		return nil, errors.New("mrt: configuration is not aligned with the topology")
@@ -121,7 +124,7 @@ func Build(g *topology.Graph, c *config.Config, root topology.NodeID) (*Tree, er
 	}
 
 	add(root)
-	for len(t.order) < n {
+	for len(t.order) < g.NumActive() {
 		if h.Len() == 0 {
 			return nil, ErrDisconnected
 		}
@@ -140,11 +143,14 @@ func Build(g *topology.Graph, c *config.Config, root topology.NodeID) (*Tree, er
 // Root returns the broadcasting process the tree is rooted at.
 func (t *Tree) Root() topology.NodeID { return t.root }
 
-// NumNodes returns the number of processes spanned by the tree.
+// NumNodes returns the size of the tree's ID space (the parent vector
+// length). In a grown cluster this can exceed the spanned node count:
+// tombstoned IDs keep a slot with parent None.
 func (t *Tree) NumNodes() int { return len(t.parent) }
 
-// NumEdges returns |Π|-1, the number of tree links.
-func (t *Tree) NumEdges() int { return len(t.parent) - 1 }
+// NumEdges returns the number of tree links — one per spanned non-root
+// node (|Π_active|-1, not the ID-space size).
+func (t *Tree) NumEdges() int { return len(t.order) - 1 }
 
 // Parent returns pred(v), the process that precedes v on the path from the
 // root (None for the root itself).
@@ -202,16 +208,17 @@ func (t *Tree) TotalWeight(c *config.Config) (float64, error) {
 	return sum, nil
 }
 
-// Validate checks the structural invariants: exactly n-1 edges, every
-// non-root node has a parent, the parent pointers are acyclic and reach
-// the root, and every tree edge exists in g.
+// Validate checks the structural invariants: one edge per spanned
+// non-root node, every active non-root node has a parent (tombstoned
+// nodes must have none), the parent pointers are acyclic and reach the
+// root, and every tree edge exists in g.
 func (t *Tree) Validate(g *topology.Graph) error {
 	n := t.NumNodes()
 	if g.NumNodes() != n {
 		return fmt.Errorf("mrt: tree spans %d nodes, topology has %d", n, g.NumNodes())
 	}
-	if len(t.order) != n {
-		return fmt.Errorf("mrt: order covers %d of %d nodes", len(t.order), n)
+	if len(t.order) != g.NumActive() {
+		return fmt.Errorf("mrt: order covers %d of %d active nodes", len(t.order), g.NumActive())
 	}
 	for v := 0; v < n; v++ {
 		id := topology.NodeID(v)
@@ -222,6 +229,12 @@ func (t *Tree) Validate(g *topology.Graph) error {
 			continue
 		}
 		p := t.parent[v]
+		if !g.Active(id) {
+			if p != topology.None {
+				return fmt.Errorf("mrt: removed node %d has parent %d", id, p)
+			}
+			continue
+		}
 		if p == topology.None {
 			return fmt.Errorf("mrt: node %d has no parent", id)
 		}

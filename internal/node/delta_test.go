@@ -13,14 +13,36 @@ import (
 	"adaptivecast/internal/wire"
 )
 
-// settleTicks runs `periods` heartbeat rounds on every node, letting the
-// fabric drain between rounds.
+// settleTicks runs `periods` heartbeat rounds on every node, draining
+// the fabric between rounds: frames leaking from one period into the
+// next read as instability to the cadence controller (a non-empty or
+// unanchored delta), so a fixed sleep makes every timing-sensitive
+// assertion flaky under -race on a loaded machine. Instead, wait until
+// the cluster's receive counters stop moving (in-flight frames all
+// handled), bounded so a genuinely quiet period costs one extra scan.
 func settleTicks(nodes []*Node, periods int) {
+	received := func() int {
+		total := 0
+		for _, nd := range nodes {
+			s := nd.Stats()
+			total += s.HeartbeatsReceived + s.DataReceived + s.SnapshotMergeErrors +
+				s.DecodeErrors + s.StaleEpochFrames + s.EpochChanges
+		}
+		return total
+	}
 	for p := 0; p < periods; p++ {
 		for _, nd := range nodes {
 			nd.Tick()
 		}
-		time.Sleep(time.Millisecond)
+		last := received()
+		for attempt := 0; attempt < 50; attempt++ {
+			time.Sleep(500 * time.Microsecond)
+			if now := received(); now == last {
+				break
+			} else {
+				last = now
+			}
+		}
 	}
 }
 

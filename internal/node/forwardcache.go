@@ -97,6 +97,18 @@ func (c *forwardCache) get(root topology.NodeID, parents []topology.NodeID) (*mr
 	return e.tree, true
 }
 
+// clear drops every entry — called on a membership epoch change, whose
+// trees (sized to the old ID space or routing through departed members)
+// must never serve the new epoch.
+func (c *forwardCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	for k := range c.byKey {
+		delete(c.byKey, k)
+	}
+}
+
 // put inserts a rebuilt tree, evicting the least recently used entry when
 // full. The parents slice is retained: wire.Decode allocates it per frame
 // and nothing else holds it.

@@ -71,6 +71,8 @@ type Stats struct {
 	PlanCacheMisses     int // broadcasts that had to replan because the view changed
 	ForwardCacheHits    int // received data frames whose tree came from the forwarder cache
 	ForwardCacheMisses  int // received data frames that had to rebuild their tree
+	StaleEpochFrames    int // frames fenced off because they carried an older membership epoch
+	EpochChanges        int // membership epoch adoptions (joins/leaves applied, catch-ups included)
 }
 
 // counters is the runtime's internal, atomically updated form of Stats,
@@ -93,6 +95,8 @@ type counters struct {
 	planCacheMisses     atomic.Int64
 	forwardCacheHits    atomic.Int64
 	forwardCacheMisses  atomic.Int64
+	staleEpochFrames    atomic.Int64
+	epochChanges        atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -114,6 +118,8 @@ func (c *counters) snapshot() Stats {
 		PlanCacheMisses:     int(c.planCacheMisses.Load()),
 		ForwardCacheHits:    int(c.forwardCacheHits.Load()),
 		ForwardCacheMisses:  int(c.forwardCacheMisses.Load()),
+		StaleEpochFrames:    int(c.staleEpochFrames.Load()),
+		EpochChanges:        int(c.epochChanges.Load()),
 	}
 }
 
@@ -139,10 +145,20 @@ type Hooks struct {
 type Config struct {
 	// ID is this process; IDs are dense in [0, NumProcs).
 	ID topology.NodeID
-	// NumProcs is |Π| (the paper assumes the process set is known).
+	// NumProcs is |Π| (the ID-space size; in a grown cluster this counts
+	// tombstoned members too, since IDs are never reused).
 	NumProcs int
 	// Neighbors are the directly connected processes.
 	Neighbors []topology.NodeID
+	// Epoch is the initial membership epoch. 0 — the static-cluster
+	// default — keeps every frame byte-identical to pre-epoch peers; a
+	// node created to join a running cluster declares the bumped epoch of
+	// the membership change that admits it.
+	Epoch uint64
+	// Departed lists the processes already tombstoned as of Epoch, so a
+	// joiner's view starts aligned with the cluster's roster instead of
+	// waiting for announcements.
+	Departed []topology.NodeID
 	// K is the reliability target (default DefaultK).
 	K float64
 	// HeartbeatEvery is δ, the heartbeat period (default 1s).
@@ -245,10 +261,70 @@ type plan struct {
 // a crash wastes at most this much of the (unbounded) sequence space.
 const seqLeaseBatch = 1 << 10
 
+// announceRounds is how many consecutive heartbeat periods a node
+// re-floods its latest membership announcement. Announcements cross the
+// same lossy links as every other frame; with per-link loss L the chance
+// a neighbor misses all rounds is L^(1+announceRounds) (the original
+// flood plus the repeats), and delta-heartbeat clusters additionally
+// repair stragglers through the stale-epoch re-announcement loop.
+const announceRounds = 3
+
+// memberChange is the last membership announcement this node applied (or
+// originated), kept for re-announcement: a peer whose frames arrive with
+// a stale epoch missed the flood, and re-sending the complete Membership
+// catches it up in one frame. frame is the announcement pre-encoded, so
+// the repair paths (per stale frame received, per redundancy round) pay
+// one Send each, never a re-serialization.
+type memberChange struct {
+	kind   wire.FrameKind // FrameJoin or FrameLeave
+	member wire.Membership
+	frame  []byte
+}
+
+// newMemberChange builds the record, deep-copying the slices (the caller
+// may hold them) and pre-encoding the frame. Encoding a validated
+// Membership cannot fail; a nil frame just disables re-announcement.
+func newMemberChange(kind wire.FrameKind, m *wire.Membership) *memberChange {
+	mc := &memberChange{kind: kind, member: *m}
+	mc.member.Departed = append([]topology.NodeID(nil), m.Departed...)
+	mc.member.Neighbors = append([]topology.NodeID(nil), m.Neighbors...)
+	mc.frame, _ = wire.Encode(&wire.Frame{Kind: kind, Member: &mc.member})
+	return mc
+}
+
 // Node is one live process.
 type Node struct {
 	cfg Config
 	tr  transport.Transport
+
+	// epoch is the membership epoch this node operates in; frames from
+	// older epochs are fenced off, newer epochs are adopted from
+	// membership announcements. nbs is the current neighbor roster
+	// (copy-on-write: mutations install a fresh slice; readers use the
+	// snapshot they loaded). lastChange backs re-announcements; nil until
+	// the first membership change. memberMu serializes whole membership
+	// applications — epoch, view, roster, peer state and lastChange move
+	// together, and concurrent applies (transport goroutine vs a local
+	// AnnounceLeave) must not interleave their updates; readers stay
+	// lock-free on the atomics. Lock order: memberMu may take viewMu,
+	// peerMu and cadMu; never the reverse. reannMu guards reannounced,
+	// the per-peer once-per-period limit on stale-epoch re-announcements.
+	memberMu    sync.Mutex
+	epoch       atomic.Uint64
+	nbs         atomic.Pointer[[]topology.NodeID]
+	lastChange  atomic.Pointer[memberChange]
+	reannMu     sync.Mutex
+	reannounced map[topology.NodeID]bool
+	// announceLeft counts the remaining periods Tick re-floods lastChange
+	// to the neighborhood: announcements ride lossy links like any frame,
+	// and a few redundant rounds bound the chance a member misses a
+	// membership change even where the stale-epoch repair loop cannot see
+	// it (full-snapshot heartbeats carry no epoch).
+	announceLeft atomic.Int32
+
+	// borrowDecode is set when the transport hands the handler exclusive
+	// frame buffers (transport.FrameOwner), enabling zero-copy decode.
+	borrowDecode bool
 
 	// viewMu guards the knowledge view (heartbeat merges, ticks,
 	// estimate reads). It is never held while sending.
@@ -327,6 +403,12 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, d := range cfg.Departed {
+		if d == cfg.ID {
+			return nil, fmt.Errorf("node: self %d listed as departed", d)
+		}
+		view.MarkDeparted(d)
+	}
 	n := &Node{
 		cfg:        cfg,
 		tr:         tr,
@@ -337,6 +419,26 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		deliveries: make(chan Delivery, cfg.DeliveryBuffer),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	n.epoch.Store(cfg.Epoch)
+	roster := append([]topology.NodeID(nil), cfg.Neighbors...)
+	n.nbs.Store(&roster)
+	n.reannounced = make(map[topology.NodeID]bool)
+	if fo, ok := tr.(transport.FrameOwner); ok && fo.HandlerOwnsFrame() {
+		n.borrowDecode = true
+	}
+	if cfg.Epoch > 0 {
+		// A node constructed mid-epoch (a joiner) can catch laggard peers
+		// up on its own membership change, and re-floods it for a few
+		// periods in case the AnnounceJoin flood is lost.
+		n.lastChange.Store(newMemberChange(wire.FrameJoin, &wire.Membership{
+			Node:      cfg.ID,
+			Epoch:     cfg.Epoch,
+			NumProcs:  cfg.NumProcs,
+			Departed:  cfg.Departed,
+			Neighbors: roster,
+		}))
+		n.announceLeft.Store(announceRounds)
 	}
 	if cfg.ForwardCacheSize > 0 {
 		n.fwdCache = newForwardCache(cfg.ForwardCacheSize)
@@ -399,6 +501,14 @@ func (n *Node) Stop() {
 // ID returns the node's process identity.
 func (n *Node) ID() topology.NodeID { return n.cfg.ID }
 
+// Epoch returns the membership epoch the node currently operates in.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// Neighbors returns the current neighbor roster (a shared snapshot;
+// callers must not modify it). The roster changes when membership
+// announcements add or remove adjacent processes.
+func (n *Node) Neighbors() []topology.NodeID { return *n.nbs.Load() }
+
 // Deliveries returns the channel of application deliveries.
 func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 
@@ -456,14 +566,37 @@ func (n *Node) Tick() {
 	if n.closed.Load() {
 		return
 	}
-	// Copy the peer bookkeeping first (leaf lock, never nested under
-	// viewMu) so delta cutting under the view lock reads no shared maps.
+	// Snapshot the roster once per period: membership changes landing
+	// mid-tick take effect next period. Copy the peer bookkeeping first
+	// (leaf lock, never nested under viewMu) so delta cutting under the
+	// view lock reads no shared maps.
+	neighbors := n.Neighbors()
+	epoch := n.epoch.Load()
+	// Re-arm the per-peer stale-epoch re-announcement budget (see
+	// epochGate): one repair frame per laggard per period.
+	n.reannMu.Lock()
+	for k := range n.reannounced {
+		delete(n.reannounced, k)
+	}
+	n.reannMu.Unlock()
+	// Redundant membership announcement rounds (see announceRounds): a
+	// recent join/leave is re-flooded with the heartbeats so a lossy link
+	// cannot silently strand a member in the old epoch.
+	if n.announceLeft.Load() > 0 && n.announceLeft.Add(-1) >= 0 {
+		if lc := n.lastChange.Load(); lc != nil && lc.frame != nil {
+			for _, nb := range neighbors {
+				if nb != lc.member.Node {
+					_ = n.tr.Send(nb, lc.frame)
+				}
+			}
+		}
+	}
 	var acked, seen map[topology.NodeID]uint64
 	if !n.cfg.DisableDeltaHeartbeats {
-		acked = make(map[topology.NodeID]uint64, len(n.cfg.Neighbors))
-		seen = make(map[topology.NodeID]uint64, len(n.cfg.Neighbors))
+		acked = make(map[topology.NodeID]uint64, len(neighbors))
+		seen = make(map[topology.NodeID]uint64, len(neighbors))
 		n.peerMu.Lock()
-		for _, nb := range n.cfg.Neighbors {
+		for _, nb := range neighbors {
 			acked[nb] = n.peerAcked[nb]
 			seen[nb] = n.peerSeen[nb]
 		}
@@ -492,13 +625,13 @@ func (n *Node) Tick() {
 	if n.cfg.DisableDeltaHeartbeats {
 		full = n.view.Snapshot()
 	} else {
-		outs = make([]outbound, 0, len(n.cfg.Neighbors))
+		outs = make([]outbound, 0, len(neighbors))
 		// One cut per distinct acked base: in the common case every
 		// neighbor acked the same version, so a node of any degree scans
 		// the view once per period, not once per neighbor. A nil cached
 		// cut records an unanchorable base.
 		cuts := make(map[uint64]*knowledge.Snapshot, 1)
-		for _, nb := range n.cfg.Neighbors {
+		for _, nb := range neighbors {
 			o := outbound{to: nb}
 			if base := acked[nb]; base > 0 {
 				d, cached := cuts[base]
@@ -541,7 +674,7 @@ func (n *Node) Tick() {
 			return
 		}
 		sent := 0
-		for _, nb := range n.cfg.Neighbors {
+		for _, nb := range neighbors {
 			if err := n.tr.Send(nb, frame); err == nil {
 				sent++
 				n.stats.heartbeatBytesSent.Add(int64(len(frame)))
@@ -573,6 +706,7 @@ func (n *Node) Tick() {
 			Ver:     ver,
 			Ack:     seen[o.to],
 			Cadence: uint64(declared),
+			Epoch:   epoch,
 		}})
 		if err != nil {
 			continue
@@ -630,7 +764,7 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 		}
 	}
 
-	msg := &wire.DataMsg{Origin: n.cfg.ID, Seq: seq, Root: n.cfg.ID, Body: body}
+	msg := &wire.DataMsg{Origin: n.cfg.ID, Seq: seq, Root: n.cfg.ID, Body: body, Epoch: n.epoch.Load()}
 	p, fresh := n.currentPlan()
 	if p.err == nil {
 		msg.Parents = p.parents
@@ -641,7 +775,7 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 		}
 	} else {
 		n.stats.fallbackFloods.Add(1)
-		planned = len(n.cfg.Neighbors)
+		planned = len(n.Neighbors())
 	}
 	n.pushDelivery(Delivery{Origin: n.cfg.ID, Seq: seq, From: n.cfg.ID, Body: body})
 
@@ -822,7 +956,7 @@ func (n *Node) flood(msg *wire.DataMsg, except topology.NodeID) error {
 	}
 	attempted, sent := 0, 0
 	var lastErr error
-	for _, nb := range n.cfg.Neighbors {
+	for _, nb := range n.Neighbors() {
 		if nb == except {
 			continue
 		}
@@ -840,15 +974,27 @@ func (n *Node) flood(msg *wire.DataMsg, except topology.NodeID) error {
 	return nil
 }
 
-// handle is the transport callback; frames arrive serialized.
+// handle is the transport callback; frames arrive serialized. Frames are
+// decoded zero-copy when the transport hands over buffer ownership
+// (transport.FrameOwner — the in-process Fabric), and epoch-gated before
+// any protocol processing (see epochGate).
 func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
-	frame, err := wire.Decode(frameBytes)
+	var frame *wire.Frame
+	var err error
+	if n.borrowDecode {
+		frame, err = wire.DecodeBorrow(frameBytes)
+	} else {
+		frame, err = wire.Decode(frameBytes)
+	}
 	if err != nil {
 		n.stats.decodeErrors.Add(1)
 		return
 	}
 	switch frame.Kind {
 	case wire.FrameHeartbeat:
+		// Legacy full-snapshot heartbeats predate epochs and carry none;
+		// they are not gated (a static cluster is the only place they
+		// interoperate cleanly anyway).
 		if n.closed.Load() {
 			return
 		}
@@ -861,10 +1007,277 @@ func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
 			n.stats.snapshotMergeErrors.Add(1)
 		}
 	case wire.FrameKnowledgeDelta:
+		if !n.epochGate(from, frame.Delta.Epoch) {
+			return
+		}
 		n.handleDelta(from, frame.Delta)
 	case wire.FrameData:
+		if !n.epochGate(from, frame.Data.Epoch) {
+			return
+		}
 		n.handleData(from, frame.Data)
+	case wire.FrameJoin, wire.FrameLeave:
+		n.handleMembership(from, frame.Kind, frame.Member)
 	}
+}
+
+// epochGate fences a data/delta frame against the node's membership
+// epoch. Same epoch: process. Older epoch: the sender missed a
+// membership change — drop the frame (its trees, version bookkeeping and
+// roster assumptions belong to a dead membership view), count it, and
+// re-send the announcement that created the current epoch so the laggard
+// catches up in one frame. Newer epoch: this node is the laggard — drop
+// the frame too (it cannot be interpreted against the old roster), and
+// rely on the pull loop the drop creates: our next heartbeat reaches the
+// ahead peer with a stale epoch, the peer re-announces, we adopt, and our
+// cleared ack state makes both sides exchange full knowledge snapshots.
+func (n *Node) epochGate(from topology.NodeID, frameEpoch uint64) bool {
+	cur := n.epoch.Load()
+	if frameEpoch == cur {
+		return true
+	}
+	if frameEpoch < cur {
+		n.stats.staleEpochFrames.Add(1)
+		// Once per peer per heartbeat period (Tick clears the set): a
+		// laggard mid-burst sends many stale frames, and answering each
+		// with a full membership announcement would amplify its traffic.
+		n.reannMu.Lock()
+		first := !n.reannounced[from]
+		n.reannounced[from] = true
+		n.reannMu.Unlock()
+		if first {
+			if lc := n.lastChange.Load(); lc != nil && lc.frame != nil {
+				_ = n.tr.Send(from, lc.frame)
+			}
+		}
+	}
+	return false
+}
+
+// handleMembership applies a join/leave announcement and relays it. The
+// epoch number dedups the flood: announcements at or below the current
+// epoch are drops (every member already applied them), strictly newer
+// ones are applied — wholesale, since Membership carries the complete
+// roster — and re-flooded to the rest of the neighborhood.
+func (n *Node) handleMembership(from topology.NodeID, kind wire.FrameKind, m *wire.Membership) {
+	if n.closed.Load() {
+		return
+	}
+	if m.Node == n.cfg.ID && kind == wire.FrameLeave {
+		return // the cluster says we left; nothing sensible to apply locally
+	}
+	if !n.applyMembership(kind, m) {
+		return
+	}
+	// Relay the announcement (excluding whoever delivered it) so the
+	// flood covers the cluster even though the roster is changing under
+	// it; applyMembership just pre-encoded it into lastChange. Send
+	// failures are tolerated: the stale-epoch re-announcement path
+	// repairs any member the flood misses.
+	if lc := n.lastChange.Load(); lc != nil && lc.frame != nil {
+		for _, nb := range n.Neighbors() {
+			if nb == from || nb == m.Node {
+				continue
+			}
+			_ = n.tr.Send(nb, lc.frame)
+		}
+	}
+}
+
+// applyMembership installs a membership change: grow the view's ID space,
+// tombstone departed members, splice the subject in or out of the local
+// neighbor roster, adopt the epoch, and re-anchor everything derived from
+// the old membership — the plan cache and forwarder tree cache are
+// invalidated, and the per-neighbor ack/seen/cadence state is reset so
+// the next heartbeat exchange falls back to full snapshots (the
+// knowledge pull that brings a joiner, or a laggard crossing several
+// epochs at once, up to speed). It reports whether the change was newer
+// than the current epoch and therefore applied.
+func (n *Node) applyMembership(kind wire.FrameKind, m *wire.Membership) bool {
+	n.memberMu.Lock()
+	defer n.memberMu.Unlock()
+	if m.Epoch <= n.epoch.Load() {
+		return false
+	}
+	n.epoch.Store(m.Epoch)
+	n.stats.epochChanges.Add(1)
+
+	n.viewMu.Lock()
+	n.view.Grow(m.NumProcs)
+	for _, d := range m.Departed {
+		n.view.MarkDeparted(d)
+	}
+	joinsUs := false
+	if kind == wire.FrameJoin {
+		for _, nb := range m.Neighbors {
+			if nb == n.cfg.ID {
+				joinsUs = true
+			}
+		}
+		if joinsUs {
+			_ = n.view.AddNeighbor(m.Node)
+		}
+	}
+	n.viewMu.Unlock()
+
+	// Splice the roster copy-on-write; readers keep whatever snapshot
+	// they loaded for the rest of their operation.
+	old := n.Neighbors()
+	roster := make([]topology.NodeID, 0, len(old)+1)
+	for _, nb := range old {
+		if n.isDepartedIn(m, nb) || nb == m.Node {
+			continue // dropped (leaver, or re-announced joiner re-added below)
+		}
+		roster = append(roster, nb)
+	}
+	if joinsUs {
+		roster = append(roster, m.Node)
+	}
+	n.nbs.Store(&roster)
+
+	// Re-anchor: trees and version bookkeeping from the old epoch must
+	// not serve the new one. Clearing peerAcked forces the full-snapshot
+	// fallback toward every neighbor; clearing peerSeen makes this node
+	// ack 0 until fresh full snapshots arrive, forcing the fallback in
+	// the other direction too. Cadence controllers restart at one frame
+	// per period, which also pushes the news out immediately.
+	n.peerMu.Lock()
+	for k := range n.peerSeen {
+		delete(n.peerSeen, k)
+	}
+	for k := range n.peerAcked {
+		delete(n.peerAcked, k)
+	}
+	n.peerMu.Unlock()
+	if n.cad != nil {
+		n.cadMu.Lock()
+		for k := range n.cad {
+			delete(n.cad, k)
+		}
+		n.cadMu.Unlock()
+	}
+	if n.fwdCache != nil {
+		n.fwdCache.clear()
+	}
+	// The plan cache invalidates itself: Grow/MarkDeparted/AddNeighbor
+	// bumped the view version it is keyed on.
+
+	n.lastChange.Store(newMemberChange(kind, m))
+	n.announceLeft.Store(announceRounds)
+	return true
+}
+
+// isDepartedIn reports whether id is tombstoned by announcement m.
+func (n *Node) isDepartedIn(m *wire.Membership, id topology.NodeID) bool {
+	for _, d := range m.Departed {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnounceJoin floods this node's own join announcement to its neighbors.
+// Call it once on a freshly constructed joiner (Config.Epoch set to the
+// membership change's epoch, Config.Neighbors naming its links): the
+// receiving members apply the change, learn their new link, and their
+// next heartbeats deliver the full knowledge snapshots that fold the
+// joiner into the running cluster.
+func (n *Node) AnnounceJoin() error {
+	if n.closed.Load() {
+		return errors.New("node: stopped")
+	}
+	lc := n.lastChange.Load()
+	if lc == nil || lc.kind != wire.FrameJoin || lc.member.Node != n.cfg.ID {
+		return errors.New("node: not configured as a joiner (Config.Epoch unset)")
+	}
+	if lc.frame == nil {
+		return errors.New("node: join announcement failed to encode")
+	}
+	var lastErr error
+	sent := 0
+	for _, nb := range n.Neighbors() {
+		if err := n.tr.Send(nb, lc.frame); err == nil {
+			sent++
+		} else {
+			lastErr = err
+		}
+	}
+	if sent == 0 && len(n.Neighbors()) > 0 {
+		return fmt.Errorf("node: join announcement reached no neighbor: %w", lastErr)
+	}
+	return nil
+}
+
+// AnnounceLeave removes a member from the running cluster on its behalf:
+// this node applies the change locally (tombstoning the leaver, bumping
+// the epoch) and floods the announcement. Call it on any surviving member
+// — typically a neighbor of the departed process — after stopping the
+// leaver. The new epoch is this node's epoch + 1; callers holding an
+// authoritative membership ledger (the Cluster) use AnnounceLeaveAt so
+// concurrent changes announced through different members cannot collide
+// on one epoch number.
+func (n *Node) AnnounceLeave(leaver topology.NodeID) error {
+	return n.AnnounceLeaveAt(leaver, n.epoch.Load()+1)
+}
+
+// AnnounceLeaveAt is AnnounceLeave with an explicit epoch for the change,
+// from an external membership ledger. epoch must be strictly greater than
+// every epoch already announced, or the members that adopted the higher
+// epoch will drop this announcement.
+func (n *Node) AnnounceLeaveAt(leaver topology.NodeID, epoch uint64) error {
+	n.viewMu.Lock()
+	numProcs := n.view.NumProcs()
+	already := n.view.Departed(leaver)
+	departed := make([]topology.NodeID, 0, 4)
+	for i := 0; i < numProcs; i++ {
+		if n.view.Departed(topology.NodeID(i)) {
+			departed = append(departed, topology.NodeID(i))
+		}
+	}
+	n.viewMu.Unlock()
+	if int(leaver) >= numProcs || leaver < 0 {
+		return fmt.Errorf("node: leaver %d outside [0,%d)", leaver, numProcs)
+	}
+	if already {
+		return fmt.Errorf("node: process %d already departed", leaver)
+	}
+	return n.AnnounceLeaveMembership(&wire.Membership{
+		Node:     leaver,
+		Epoch:    epoch,
+		NumProcs: numProcs,
+		Departed: append(departed, leaver),
+	})
+}
+
+// AnnounceLeaveMembership applies and floods a fully specified leave
+// announcement. Callers holding an authoritative ledger (the Cluster's
+// graph) build the Membership from it rather than from this node's view,
+// so the announced ID-space size and tombstone set stay correct even
+// when this node has not yet caught up with an in-flight change — a
+// leave must not erase a join it overtook. m.Departed must include
+// m.Node; nothing is applied on error.
+func (n *Node) AnnounceLeaveMembership(m *wire.Membership) error {
+	if n.closed.Load() {
+		return errors.New("node: stopped")
+	}
+	if m.Node == n.cfg.ID {
+		return errors.New("node: cannot announce own departure")
+	}
+	if !n.isDepartedIn(m, m.Node) {
+		return fmt.Errorf("node: leave announcement does not tombstone the leaver %d", m.Node)
+	}
+	if !n.applyMembership(wire.FrameLeave, m) {
+		return errors.New("node: leave announcement lost an epoch race; retry")
+	}
+	lc := n.lastChange.Load()
+	if lc == nil || lc.frame == nil {
+		return errors.New("node: leave announcement failed to encode")
+	}
+	for _, nb := range n.Neighbors() {
+		_ = n.tr.Send(nb, lc.frame)
+	}
+	return nil
 }
 
 // handleDelta merges a delta heartbeat and advances the version

@@ -1,0 +1,148 @@
+package topology
+
+import "testing"
+
+// TestAddRemoveNodeEpochs covers the mutable growth path: dense ID
+// assignment, tombstoning, link cleanup and epoch accounting.
+func TestAddRemoveNodeEpochs(t *testing.T) {
+	g, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != 0 {
+		t.Fatalf("generated topology at epoch %d, want 0", g.Epoch())
+	}
+
+	id := g.AddNode()
+	if id != 4 {
+		t.Fatalf("AddNode assigned %d, want 4", id)
+	}
+	if g.Epoch() != 1 || g.NumNodes() != 5 || g.NumActive() != 5 {
+		t.Fatalf("after add: epoch=%d nodes=%d active=%d", g.Epoch(), g.NumNodes(), g.NumActive())
+	}
+	if _, err := g.AddLink(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("grown graph should be connected")
+	}
+
+	// Remove node 1: its two ring links disappear, the ID is tombstoned
+	// and never reused, and the epoch advances exactly once.
+	before := g.Epoch()
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != before+1 {
+		t.Errorf("RemoveNode bumped epoch by %d, want 1", g.Epoch()-before)
+	}
+	if g.Active(1) || g.NumActive() != 4 || g.NumNodes() != 5 {
+		t.Errorf("after remove: active(1)=%v active=%d nodes=%d", g.Active(1), g.NumActive(), g.NumNodes())
+	}
+	if g.Degree(1) != 0 || g.HasLink(0, 1) || g.HasLink(1, 2) {
+		t.Error("tombstoned node still has links")
+	}
+	if !g.Connected() {
+		t.Error("survivors should stay connected (0-4-2-3 ring segment)")
+	}
+	if next := g.AddNode(); next != 5 {
+		t.Errorf("ID after removal = %d, want 5 (no reuse)", next)
+	}
+
+	// Invalid operations.
+	if err := g.RemoveNode(1); err == nil {
+		t.Error("double removal should fail")
+	}
+	if _, err := g.AddLink(0, 1); err == nil {
+		t.Error("linking to a tombstoned node should fail")
+	}
+	if g.Active(99) {
+		t.Error("out-of-range ID should not be active")
+	}
+}
+
+// TestRemoveLinkIndexMaintenance pins the swap-removal contract: the
+// dense link index stays compacted, adjacency stays sorted and aligned,
+// and the reported (removedIdx, movedIdx) pair lets aligned state mirror
+// the move.
+func TestRemoveLinkIndexMaintenance(t *testing.T) {
+	g := New(5)
+	links := [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	for _, l := range links {
+		if _, err := g.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Remove a middle link: the last link must move into its slot.
+	removed, moved, err := g.RemoveLink(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || moved != 4 {
+		t.Fatalf("RemoveLink reported (removed=%d, moved=%d), want (1, 4)", removed, moved)
+	}
+	if g.NumLinks() != 4 {
+		t.Fatalf("NumLinks = %d, want 4", g.NumLinks())
+	}
+	if g.HasLink(1, 2) {
+		t.Error("removed link still present")
+	}
+	// The moved link (4,0) must be fully reindexed.
+	if idx := g.LinkIndex(4, 0); idx != 1 {
+		t.Errorf("moved link index = %d, want 1", idx)
+	}
+	for v := NodeID(0); v < 5; v++ {
+		nbs, idxs := g.Neighbors(v), g.NeighborLinks(v)
+		for k, nb := range nbs {
+			l := g.Link(idxs[k])
+			if l != NewLink(v, nb) {
+				t.Errorf("node %d adjacency slot %d points at link %v, want %v", v, k, l, NewLink(v, nb))
+			}
+		}
+	}
+
+	// Removing the (now) last link reports no move.
+	removed, moved, err = g.RemoveLink(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != -1 {
+		t.Errorf("tail removal reported moved=%d, want -1", moved)
+	}
+	if _, _, err := g.RemoveLink(3, 4); err == nil {
+		t.Error("double link removal should fail")
+	}
+}
+
+// TestCloneKeepsMembership verifies tombstones, epochs and link indices
+// survive Clone.
+func TestCloneKeepsMembership(t *testing.T) {
+	g, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddNode()
+	if _, err := g.AddLink(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if c.Epoch() != g.Epoch() || c.NumActive() != g.NumActive() || c.NumLinks() != g.NumLinks() {
+		t.Fatalf("clone drifted: epoch %d/%d active %d/%d links %d/%d",
+			c.Epoch(), g.Epoch(), c.NumActive(), g.NumActive(), c.NumLinks(), g.NumLinks())
+	}
+	if c.Active(2) {
+		t.Error("clone lost the tombstone")
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		if c.Link(i) != g.Link(i) {
+			t.Errorf("clone link %d = %v, want %v", i, c.Link(i), g.Link(i))
+		}
+	}
+}

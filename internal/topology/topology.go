@@ -7,6 +7,15 @@
 // Links are undirected and canonicalized so that Link{A, B} always has
 // A < B; every link also gets a dense index in [0, NumLinks) so that
 // per-link state can live in slices instead of maps on hot paths.
+//
+// The paper assumes Π is fixed and globally known; this package relaxes
+// that with membership epochs. AddNode grows the ID space, RemoveNode
+// tombstones a process (IDs are never reused or compacted, so per-node
+// state indexed by NodeID stays valid across epochs), and both bump a
+// monotonically increasing Epoch that the wire and node layers use to
+// fence frames from different membership views against each other.
+// RemoveLink keeps the dense link index compacted by swap-removal and
+// reports the affected slot so aligned per-link state can mirror the move.
 package topology
 
 import (
@@ -57,27 +66,82 @@ func (l Link) String() string {
 // graph; use New to create a graph with a fixed process set.
 type Graph struct {
 	n         int
+	epoch     uint64
+	removed   []bool // tombstoned node IDs (never reused)
+	nRemoved  int
 	links     []Link
 	linkIndex map[Link]int
 	adj       [][]NodeID // adj[i] = sorted neighbor IDs of node i
 	adjLink   [][]int    // adjLink[i][k] = link index of the link to adj[i][k]
 }
 
-// New returns an empty graph over n processes (no links).
+// New returns an empty graph over n processes (no links) at epoch 0.
 func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
 	return &Graph{
 		n:         n,
+		removed:   make([]bool, n),
 		linkIndex: make(map[Link]int),
 		adj:       make([][]NodeID, n),
 		adjLink:   make([][]int, n),
 	}
 }
 
-// NumNodes returns |Π|.
+// NumNodes returns the size of the ID space [0, n) — tombstoned processes
+// included, so NodeID-indexed state stays addressable across epochs. Use
+// NumActive for the live process count.
 func (g *Graph) NumNodes() int { return g.n }
+
+// NumActive returns the number of live (non-tombstoned) processes.
+func (g *Graph) NumActive() int { return g.n - g.nRemoved }
+
+// Active reports whether id names a live process. Out-of-range IDs are
+// not active.
+func (g *Graph) Active(id NodeID) bool {
+	return id >= 0 && int(id) < g.n && !g.removed[id]
+}
+
+// Epoch returns the membership epoch: the number of membership mutations
+// (AddNode, RemoveNode, RemoveLink) applied since construction.
+// Construction-time AddLink does not bump it, so generated static
+// topologies are epoch 0 and their frames stay byte-identical to
+// pre-epoch peers.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// AddNode grows Π by one process, returning its ID (always the next dense
+// ID — removed IDs are never reused) and bumping the epoch. The new node
+// starts with no links; wire it with AddLink.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(g.n)
+	g.n++
+	g.removed = append(g.removed, false)
+	g.adj = append(g.adj, nil)
+	g.adjLink = append(g.adjLink, nil)
+	g.epoch++
+	return id
+}
+
+// RemoveNode tombstones a process and removes its incident links, bumping
+// the epoch once. The ID is never reused; per-ID state held by other
+// layers keeps its slot and is expected to be tombstoned in kind.
+func (g *Graph) RemoveNode(id NodeID) error {
+	if !g.Active(id) {
+		return fmt.Errorf("topology: remove of unknown or already removed node %d", id)
+	}
+	// Snapshot the neighbor list: removing links mutates adj[id].
+	nbs := append([]NodeID(nil), g.adj[id]...)
+	for _, nb := range nbs {
+		if _, _, err := g.removeLink(id, nb); err != nil {
+			return err
+		}
+	}
+	g.removed[id] = true
+	g.nRemoved++
+	g.epoch++ // one bump for the whole membership change, links included
+	return nil
+}
 
 // NumLinks returns |Λ|.
 func (g *Graph) NumLinks() int { return len(g.links) }
@@ -124,6 +188,67 @@ func (g *Graph) insertNeighbor(at, nb NodeID, linkIdx int) {
 	g.adjLink[at][pos] = linkIdx
 }
 
+// RemoveLink deletes the undirected link between a and b and bumps the
+// epoch. The dense link index stays compacted by swap-removal: the last
+// link moves into the freed slot. The return values report the freed slot
+// (removedIdx) and the old index of the link that moved into it (movedIdx,
+// -1 when the removed link was last), so aligned per-link state can mirror
+// the move with state[removedIdx] = state[movedIdx]; state = state[:len-1].
+func (g *Graph) RemoveLink(a, b NodeID) (removedIdx, movedIdx int, err error) {
+	removedIdx, movedIdx, err = g.removeLink(a, b)
+	if err == nil {
+		g.epoch++
+	}
+	return removedIdx, movedIdx, err
+}
+
+// removeLink is RemoveLink without the epoch bump (RemoveNode collapses
+// several removals into one membership change).
+func (g *Graph) removeLink(a, b NodeID) (removedIdx, movedIdx int, err error) {
+	l := NewLink(a, b)
+	idx, ok := g.linkIndex[l]
+	if !ok {
+		return -1, -1, fmt.Errorf("topology: no link between %d and %d", a, b)
+	}
+	g.deleteNeighbor(l.A, l.B)
+	g.deleteNeighbor(l.B, l.A)
+	delete(g.linkIndex, l)
+
+	last := len(g.links) - 1
+	movedIdx = -1
+	if idx != last {
+		moved := g.links[last]
+		g.links[idx] = moved
+		g.linkIndex[moved] = idx
+		movedIdx = last
+		// Re-point the moved link's adjacency entries at its new index.
+		g.repointLink(moved.A, moved.B, idx)
+		g.repointLink(moved.B, moved.A, idx)
+	}
+	g.links = g.links[:last]
+	return idx, movedIdx, nil
+}
+
+// deleteNeighbor removes nb from at's sorted adjacency (and the aligned
+// link-index slot).
+func (g *Graph) deleteNeighbor(at, nb NodeID) {
+	pos := sort.Search(len(g.adj[at]), func(i int) bool { return g.adj[at][i] >= nb })
+	if pos >= len(g.adj[at]) || g.adj[at][pos] != nb {
+		return
+	}
+	g.adj[at] = append(g.adj[at][:pos], g.adj[at][pos+1:]...)
+	g.adjLink[at] = append(g.adjLink[at][:pos], g.adjLink[at][pos+1:]...)
+}
+
+// repointLink updates at's adjacency slot for neighbor nb to a new dense
+// link index (after a swap-removal moved the link).
+func (g *Graph) repointLink(at, nb NodeID, newIdx int) {
+	pos := sort.Search(len(g.adj[at]), func(i int) bool { return g.adj[at][i] >= nb })
+	if pos < len(g.adj[at]) && g.adj[at][pos] == nb {
+		g.adjLink[at][pos] = newIdx
+	}
+}
+
 // HasLink reports whether a and b are directly connected.
 func (g *Graph) HasLink(a, b NodeID) bool {
 	_, ok := g.linkIndex[NewLink(a, b)]
@@ -152,9 +277,10 @@ func (g *Graph) NeighborLinks(id NodeID) []int { return g.adjLink[id] }
 // Degree returns the number of neighbors of id.
 func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
 
-func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < g.n }
+func (g *Graph) valid(id NodeID) bool { return g.Active(id) }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, preserving link indices,
+// tombstones and the epoch.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for _, l := range g.links {
@@ -164,18 +290,30 @@ func (g *Graph) Clone() *Graph {
 			panic("topology: clone: " + err.Error())
 		}
 	}
+	copy(c.removed, g.removed)
+	c.nRemoved = g.nRemoved
+	c.epoch = g.epoch
 	return c
 }
 
-// Connected reports whether every process can reach every other process.
-// The empty graph and the single-node graph are connected.
+// Connected reports whether every active process can reach every other
+// active process. The empty graph and the single-active-node graph are
+// connected; tombstoned processes are ignored.
 func (g *Graph) Connected() bool {
-	if g.n <= 1 {
+	active := g.NumActive()
+	if active <= 1 {
 		return true
 	}
+	var start NodeID = None
+	for v := 0; v < g.n; v++ {
+		if !g.removed[v] {
+			start = NodeID(v)
+			break
+		}
+	}
 	seen := make([]bool, g.n)
-	stack := []NodeID{0}
-	seen[0] = true
+	stack := []NodeID{start}
+	seen[start] = true
 	count := 1
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -188,7 +326,7 @@ func (g *Graph) Connected() bool {
 			}
 		}
 	}
-	return count == g.n
+	return count == active
 }
 
 // Distances returns the hop distance from src to every node (-1 if
@@ -217,14 +355,20 @@ func (g *Graph) Distances(src NodeID) []int {
 }
 
 // Diameter returns the longest shortest-path distance between any two
-// nodes, or -1 if the graph is disconnected or empty.
+// active nodes, or -1 if the graph is disconnected or empty.
 func (g *Graph) Diameter() int {
-	if g.n == 0 {
+	if g.NumActive() == 0 {
 		return -1
 	}
 	max := 0
 	for v := 0; v < g.n; v++ {
-		for _, d := range g.Distances(NodeID(v)) {
+		if g.removed[v] {
+			continue
+		}
+		for w, d := range g.Distances(NodeID(v)) {
+			if g.removed[w] {
+				continue
+			}
 			if d < 0 {
 				return -1
 			}

@@ -200,6 +200,12 @@ type fabricEndpoint struct {
 }
 
 var _ Transport = (*fabricEndpoint)(nil)
+var _ FrameOwner = (*fabricEndpoint)(nil)
+
+// HandlerOwnsFrame implements FrameOwner: route() allocates a fresh
+// buffer per routed frame and the fabric never touches it again, so
+// receivers may decode it zero-copy.
+func (ep *fabricEndpoint) HandlerOwnsFrame() bool { return true }
 
 // Local implements Transport.
 func (ep *fabricEndpoint) Local() topology.NodeID { return ep.id }

@@ -55,6 +55,19 @@ type BatchSender interface {
 	SendN(to topology.NodeID, frame []byte, n int) error
 }
 
+// FrameOwner is the optional marker for transports whose inbound frame
+// buffers are exclusively owned by the receiving side: the transport
+// never reuses or mutates a buffer after handing it to the handler, so
+// the handler may retain it — and decode it zero-copy (wire.DecodeBorrow)
+// instead of copying body bytes out. The in-process Fabric qualifies (it
+// allocates a fresh buffer per routed frame); TCP does not (it reads
+// into a recycled buffer) and keeps the copying decode.
+type FrameOwner interface {
+	// HandlerOwnsFrame reports whether handler-received frame buffers are
+	// the handler's to keep.
+	HandlerOwnsFrame() bool
+}
+
 // SendN transmits n logical copies of frame to one peer, using the
 // transport's BatchSender fast path when it has one and degrading to a
 // best-effort loop of Send calls otherwise. It reports how many copies

@@ -14,8 +14,8 @@ import (
 // Binary framing (see the README "Wire format" section):
 //
 //	[0] magic 0xAC
-//	[1] version (1 or 2)
-//	[2] kind (FrameHeartbeat | FrameData | FrameKnowledgeDelta)
+//	[1] version (1, 2 or 3)
+//	[2] kind (FrameHeartbeat | FrameData | FrameKnowledgeDelta | FrameJoin | FrameLeave)
 //	payload…
 //
 // Version 2 differs from version 1 in exactly one place: a knowledge-
@@ -26,6 +26,16 @@ import (
 // delta — stays a version-1 frame, byte-identical to what pre-cadence
 // peers emit and decode. Old peers therefore interoperate untouched
 // unless an operator turns adaptive cadence on against them.
+//
+// Version 3 adds dynamic membership: delta payloads gain an Epoch uvarint
+// after Cadence (which is always present in a v3 delta, stretched or
+// not), data payloads gain an Epoch uvarint after the piggyback section,
+// and the FrameJoin / FrameLeave kinds carry a Membership payload. The
+// encoder emits version 3 only when the epoch is nonzero (or for the
+// membership kinds, which exist only then), so every static-cluster frame
+// stays byte-identical to what v1/v2 peers emit and decode: epochs cost
+// nothing until a membership change actually happens, and old peers
+// interoperate in a static cluster by reading epoch-0 frames as their own.
 //
 // Integers are varints (unsigned for sequence numbers, lengths and
 // counts; zigzag for node IDs, distortions and allocations, which can be
@@ -39,6 +49,7 @@ const (
 	magic       = 0xAC
 	version     = 1
 	version2    = 2 // delta frames carrying a stretched Cadence
+	version3    = 3 // nonzero membership epoch; join/leave frames
 	headerSize  = 3
 	flagUniform = 1 << 0 // estimator state: midpoints are the uniform grid
 	flagRefined = 0      // (midpoints explicit; no flag bits set)
@@ -49,9 +60,10 @@ const (
 // decoder reads straight-line without per-field error plumbing.
 
 type reader struct {
-	b   []byte
-	off int
-	err error
+	b      []byte
+	off    int
+	borrow bool // byte fields alias b instead of copying (DecodeBorrow)
+	err    error
 }
 
 func (r *reader) fail(format string, args ...interface{}) {
@@ -150,6 +162,11 @@ func (r *reader) bytes(what string) []byte {
 	n := r.count(what)
 	if r.err != nil || n == 0 {
 		return nil
+	}
+	if r.borrow {
+		out := r.b[r.off : r.off+n : r.off+n]
+		r.off += n
+		return out
 	}
 	out := make([]byte, n)
 	copy(out, r.b[r.off:r.off+n])
@@ -307,19 +324,23 @@ func (r *reader) snapshot() *knowledge.Snapshot {
 // ---------------------------------------------------------------------------
 
 func deltaSize(d *KnowledgeDelta) int {
-	return 4*binary.MaxVarintLen64 + snapshotSize(d.Snap)
+	return 5*binary.MaxVarintLen64 + snapshotSize(d.Snap)
 }
 
 // appendDelta lays out the version bookkeeping before the record set, so
 // the fixed-cost liveness header of a near-empty steady-state delta stays
-// a handful of bytes. The cadence uvarint exists only in version-2 frames
-// (stretched cadence); version-1 frames imply cadence 1.
+// a handful of bytes. The cadence uvarint exists only in version-2+
+// frames (version-1 frames imply cadence 1); the epoch uvarint only in
+// version-3 frames (earlier versions imply epoch 0).
 func appendDelta(b []byte, d *KnowledgeDelta, ver byte) []byte {
 	b = binary.AppendUvarint(b, d.Since)
 	b = binary.AppendUvarint(b, d.Ver)
 	b = binary.AppendUvarint(b, d.Ack)
 	if ver >= version2 {
 		b = binary.AppendUvarint(b, d.Cadence)
+	}
+	if ver >= version3 {
+		b = binary.AppendUvarint(b, d.Epoch)
 	}
 	return appendSnapshot(b, d.Snap)
 }
@@ -335,6 +356,9 @@ func (r *reader) delta(ver byte) *KnowledgeDelta {
 		if d.Cadence = r.uvarint(); d.Cadence == 0 {
 			d.Cadence = 1 // 0 and 1 both mean the classic one frame per δ
 		}
+	}
+	if ver >= version3 {
+		d.Epoch = r.uvarint()
 	}
 	d.Snap = r.snapshot()
 	if r.err != nil {
@@ -356,7 +380,7 @@ func dataSize(m *DataMsg) int {
 	return n
 }
 
-func appendData(b []byte, m *DataMsg) []byte {
+func appendData(b []byte, m *DataMsg, ver byte) []byte {
 	b = binary.AppendVarint(b, int64(m.Origin))
 	b = binary.AppendUvarint(b, m.Seq)
 	b = binary.AppendVarint(b, int64(m.Root))
@@ -376,10 +400,13 @@ func appendData(b []byte, m *DataMsg) []byte {
 	} else {
 		b = append(b, 0)
 	}
+	if ver >= version3 {
+		b = binary.AppendUvarint(b, m.Epoch)
+	}
 	return b
 }
 
-func (r *reader) data() *DataMsg {
+func (r *reader) data(ver byte) *DataMsg {
 	m := &DataMsg{
 		Origin: r.nodeID(),
 		Seq:    r.uvarint(),
@@ -412,6 +439,63 @@ func (r *reader) data() *DataMsg {
 	default:
 		r.fail("bad piggyback flag")
 	}
+	if ver >= version3 {
+		m.Epoch = r.uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Membership announcements (join / leave)
+// ---------------------------------------------------------------------------
+
+func membershipSize(m *Membership) int {
+	return (5 + len(m.Departed) + len(m.Neighbors)) * binary.MaxVarintLen64
+}
+
+func appendMembership(b []byte, m *Membership) []byte {
+	b = binary.AppendVarint(b, int64(m.Node))
+	b = binary.AppendUvarint(b, m.Epoch)
+	b = binary.AppendUvarint(b, uint64(m.NumProcs))
+	b = binary.AppendUvarint(b, uint64(len(m.Departed)))
+	for _, d := range m.Departed {
+		b = binary.AppendVarint(b, int64(d))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Neighbors)))
+	for _, nb := range m.Neighbors {
+		b = binary.AppendVarint(b, int64(nb))
+	}
+	return b
+}
+
+func (r *reader) membership() *Membership {
+	m := &Membership{
+		Node:  r.nodeID(),
+		Epoch: r.uvarint(),
+	}
+	np := r.uvarint()
+	if np > uint64(math.MaxInt32) {
+		r.fail("membership process count %d too large", np)
+		return nil
+	}
+	m.NumProcs = int(np)
+	nDep := r.count("departed processes")
+	if nDep > 0 {
+		m.Departed = make([]topology.NodeID, 0, nDep)
+	}
+	for i := 0; i < nDep && r.err == nil; i++ {
+		m.Departed = append(m.Departed, r.nodeID())
+	}
+	nNbs := r.count("joiner links")
+	if nNbs > 0 {
+		m.Neighbors = make([]topology.NodeID, 0, nNbs)
+	}
+	for i := 0; i < nNbs && r.err == nil; i++ {
+		m.Neighbors = append(m.Neighbors, r.nodeID())
+	}
 	if r.err != nil {
 		return nil
 	}
@@ -429,14 +513,25 @@ func encodeBinary(f *Frame) ([]byte, error) {
 	case FrameHeartbeat:
 		size += snapshotSize(f.Heartbeat)
 	case FrameData:
-		size += dataSize(f.Data)
+		size += dataSize(f.Data) + binary.MaxVarintLen64
+		if f.Data.Epoch > 0 {
+			// Only a grown/shrunk cluster needs the epoch fence; static
+			// clusters stay byte-identical to v1 peers.
+			ver = version3
+		}
 	case FrameKnowledgeDelta:
 		size += deltaSize(f.Delta)
-		if f.Delta.Cadence > 1 {
+		if f.Delta.Epoch > 0 {
+			ver = version3
+		} else if f.Delta.Cadence > 1 {
 			// Only a stretched cadence needs the v2 layout; the classic
 			// one-frame-per-δ delta stays byte-identical to v1 peers.
 			ver = version2
 		}
+	case FrameJoin, FrameLeave:
+		// Membership kinds exist only since v3; no older layout to match.
+		size += membershipSize(f.Member)
+		ver = version3
 	}
 	b := make([]byte, 0, size)
 	b = append(b, magic, ver, byte(f.Kind))
@@ -444,32 +539,39 @@ func encodeBinary(f *Frame) ([]byte, error) {
 	case FrameHeartbeat:
 		b = appendSnapshot(b, f.Heartbeat)
 	case FrameData:
-		b = appendData(b, f.Data)
+		b = appendData(b, f.Data, ver)
 	case FrameKnowledgeDelta:
 		b = appendDelta(b, f.Delta, ver)
+	case FrameJoin, FrameLeave:
+		b = appendMembership(b, f.Member)
 	}
 	return b, nil
 }
 
-func decodeBinary(b []byte) (*Frame, error) {
+func decodeBinary(b []byte, borrow bool) (*Frame, error) {
 	if len(b) < headerSize {
 		return nil, errors.New("wire: frame shorter than header")
 	}
 	if b[0] != magic {
 		return nil, fmt.Errorf("wire: bad magic %#x", b[0])
 	}
-	if b[1] != version && b[1] != version2 {
+	if b[1] < version || b[1] > version3 {
 		return nil, fmt.Errorf("wire: unsupported version %d", b[1])
 	}
 	f := &Frame{Kind: FrameKind(b[2])}
-	r := &reader{b: b, off: headerSize}
+	r := &reader{b: b, off: headerSize, borrow: borrow}
 	switch f.Kind {
 	case FrameHeartbeat:
 		f.Heartbeat = r.snapshot()
 	case FrameData:
-		f.Data = r.data()
+		f.Data = r.data(b[1])
 	case FrameKnowledgeDelta:
 		f.Delta = r.delta(b[1])
+	case FrameJoin, FrameLeave:
+		if b[1] < version3 {
+			return nil, fmt.Errorf("wire: membership frame at version %d", b[1])
+		}
+		f.Member = r.membership()
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}

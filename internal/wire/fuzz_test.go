@@ -43,10 +43,36 @@ func seedFrames(tb testing.TB) []*Frame {
 		// and round-trip invariants.
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9}},
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: v.Snapshot(), Since: 0, Ver: v.Version(), Ack: 0}},
-		// A stretched-cadence delta: the only frame shape that encodes as
-		// wire version 2.
+		// A stretched-cadence delta: encodes as wire version 2.
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Cadence: 8}},
+		// Epoch-tagged data and delta frames (wire version 3), including a
+		// tombstoned slot in the parent vector, and the membership kinds.
+		{Kind: FrameData, Data: &DataMsg{
+			Origin:  2,
+			Seq:     3,
+			Root:    2,
+			Parents: []topology.NodeID{topology.None, topology.None, topology.None, 2},
+			// node 0 departed (tombstoned slot), node 3 joined under root 2
+			AllocByNode: []int32{0, 0, 0, 1},
+			Body:        []byte("epoch"),
+			Epoch:       4,
+		}},
+		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Cadence: 2, Epoch: 4}},
+		{Kind: FrameJoin, Member: &Membership{Node: 5, Epoch: 3, NumProcs: 6, Departed: []topology.NodeID{1}, Neighbors: []topology.NodeID{0, 2}}},
+		{Kind: FrameLeave, Member: &Membership{Node: 1, Epoch: 4, NumProcs: 6, Departed: []topology.NodeID{1, 3}}},
 	}
+}
+
+func nodeIDsEqual(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // estStatesEqual compares estimator states bit-for-bit (NaNs compare
@@ -111,18 +137,17 @@ func framesEqual(a, b *Frame) bool {
 		}
 		return a.Delta.Since == b.Delta.Since && a.Delta.Ver == b.Delta.Ver &&
 			a.Delta.Ack == b.Delta.Ack && normCad(a.Delta.Cadence) == normCad(b.Delta.Cadence) &&
+			a.Delta.Epoch == b.Delta.Epoch &&
 			snapshotsEqual(a.Delta.Snap, b.Delta.Snap)
 	case FrameData:
 		x, y := a.Data, b.Data
 		if x.Origin != y.Origin || x.Seq != y.Seq || x.Root != y.Root ||
-			!bytes.Equal(x.Body, y.Body) ||
-			len(x.Parents) != len(y.Parents) || len(x.AllocByNode) != len(y.AllocByNode) {
+			x.Epoch != y.Epoch || !bytes.Equal(x.Body, y.Body) ||
+			!nodeIDsEqual(x.Parents, y.Parents) {
 			return false
 		}
-		for i := range x.Parents {
-			if x.Parents[i] != y.Parents[i] {
-				return false
-			}
+		if len(x.AllocByNode) != len(y.AllocByNode) {
+			return false
 		}
 		for i := range x.AllocByNode {
 			if x.AllocByNode[i] != y.AllocByNode[i] {
@@ -130,6 +155,10 @@ func framesEqual(a, b *Frame) bool {
 			}
 		}
 		return snapshotsEqual(x.Piggyback, y.Piggyback)
+	case FrameJoin, FrameLeave:
+		x, y := a.Member, b.Member
+		return x.Node == y.Node && x.Epoch == y.Epoch && x.NumProcs == y.NumProcs &&
+			nodeIDsEqual(x.Departed, y.Departed) && nodeIDsEqual(x.Neighbors, y.Neighbors)
 	}
 	return false
 }

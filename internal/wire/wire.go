@@ -36,7 +36,39 @@ const (
 	FrameHeartbeat FrameKind = iota + 1
 	FrameData
 	FrameKnowledgeDelta
+	// FrameJoin announces a membership epoch change that added a process;
+	// FrameLeave one that removed a process. Both carry a Membership
+	// payload and always encode as wire version 3. Receivers flood them so
+	// every member converges on the new epoch; the epoch number itself
+	// dedups the flood.
+	FrameJoin
+	FrameLeave
 )
+
+// Membership is the payload of FrameJoin and FrameLeave: a complete
+// description of the process set as of Epoch, not just the delta — so a
+// node that missed intermediate epochs (lossy links, downtime) catches up
+// from any single announcement.
+//
+// Node is the subject of the change (the joiner or the leaver). NumProcs
+// is the ID-space size |Π| after the change (IDs are dense and never
+// reused; bounded by MaxProcs so a forged frame cannot drive unbounded
+// view growth). Departed lists every tombstoned process as of Epoch, the
+// leaver included. Neighbors, on join frames, lists the joiner's direct
+// links so receivers that are named can learn their new link before the
+// first heartbeat crosses it; it is empty on leave frames.
+//
+// Membership frames carry the same trust as every other frame — the
+// protocol has no authentication layer, so a peer that can inject frames
+// can already forge estimates and data; Epoch in particular is adopted
+// as announced.
+type Membership struct {
+	Node      topology.NodeID
+	Epoch     uint64
+	NumProcs  int
+	Departed  []topology.NodeID
+	Neighbors []topology.NodeID
+}
 
 // KnowledgeDelta is the delta-heartbeat payload: a partial knowledge
 // snapshot carrying only the records that changed since the sender-view
@@ -65,12 +97,18 @@ const (
 // sender may break the promise early (snap back on a view change), which
 // is always safe: an early frame shows a smaller-than-declared gap, which
 // books no loss.
+// Epoch is the sender's membership epoch (see Membership). 0 — the
+// static-cluster case — encodes exactly as before epochs existed (wire
+// version 1 or 2), so pre-epoch peers interoperate untouched; a positive
+// epoch rides a version-3 frame and lets receivers fence frames from
+// other membership views.
 type KnowledgeDelta struct {
 	Snap    *knowledge.Snapshot
 	Since   uint64
 	Ver     uint64
 	Ack     uint64
 	Cadence uint64
+	Epoch   uint64
 }
 
 // MaxCadence bounds the declared heartbeat cadence a frame may carry.
@@ -78,6 +116,14 @@ type KnowledgeDelta struct {
 // so an unbounded value would let a hostile peer suppress its own failure
 // detection forever; 256 periods is far beyond any sane stretch cap.
 const MaxCadence = 256
+
+// MaxProcs bounds the ID-space size a membership announcement may
+// declare. Receivers grow their views to NumProcs — one estimator record
+// per process — so an unbounded value would let one forged ~20-byte
+// frame drive a multi-gigabyte allocation; 65536 processes is far beyond
+// any deployment this runtime targets while keeping the worst-case grow
+// in the tens of megabytes.
+const MaxProcs = 1 << 16
 
 // DataMsg is one reliable-broadcast data message.
 type DataMsg struct {
@@ -101,6 +147,9 @@ type DataMsg struct {
 	// their own snapshot so distortion accounting matches hop-by-hop
 	// propagation.
 	Piggyback *knowledge.Snapshot
+	// Epoch is the sender's membership epoch; 0 (static cluster) encodes
+	// as a version-1 frame, byte-identical to pre-epoch peers.
+	Epoch uint64
 }
 
 // Frame is the unit put on a transport.
@@ -109,6 +158,8 @@ type Frame struct {
 	Heartbeat *knowledge.Snapshot
 	Data      *DataMsg
 	Delta     *KnowledgeDelta
+	// Member carries the FrameJoin / FrameLeave payload.
+	Member *Membership
 }
 
 // Encode serializes a frame in the binary wire format.
@@ -120,8 +171,25 @@ func Encode(f *Frame) ([]byte, error) {
 }
 
 // Decode parses a frame. Malformed input returns an error, never panics.
+// Variable-length byte fields (the data body) are copied out of b, so the
+// caller may reuse the buffer immediately.
 func Decode(b []byte) (*Frame, error) {
-	f, err := decodeBinary(b)
+	return decode(b, false)
+}
+
+// DecodeBorrow is Decode without the body copy: the returned frame's
+// DataMsg.Body aliases b. It removes the last per-frame allocation on
+// receive paths whose transport hands the handler an exclusively owned
+// buffer (the in-process Fabric); transports that reuse read buffers
+// (TCP) must keep using Decode. The caller must not recycle b while the
+// frame — or anything the body was handed to, like an application
+// Delivery — is live.
+func DecodeBorrow(b []byte) (*Frame, error) {
+	return decode(b, true)
+}
+
+func decode(b []byte, borrow bool) (*Frame, error) {
+	f, err := decodeBinary(b, borrow)
 	if err != nil {
 		return nil, err
 	}
@@ -165,11 +233,11 @@ func validate(f *Frame) error {
 	}
 	switch f.Kind {
 	case FrameHeartbeat:
-		if f.Heartbeat == nil || f.Data != nil || f.Delta != nil {
+		if f.Heartbeat == nil || f.Data != nil || f.Delta != nil || f.Member != nil {
 			return errors.New("wire: heartbeat frame payload mismatch")
 		}
 	case FrameData:
-		if f.Data == nil || f.Heartbeat != nil || f.Delta != nil {
+		if f.Data == nil || f.Heartbeat != nil || f.Delta != nil || f.Member != nil {
 			return errors.New("wire: data frame payload mismatch")
 		}
 		if f.Data.Seq == 0 {
@@ -180,7 +248,7 @@ func validate(f *Frame) error {
 				len(f.Data.AllocByNode), len(f.Data.Parents))
 		}
 	case FrameKnowledgeDelta:
-		if f.Delta == nil || f.Delta.Snap == nil || f.Heartbeat != nil || f.Data != nil {
+		if f.Delta == nil || f.Delta.Snap == nil || f.Heartbeat != nil || f.Data != nil || f.Member != nil {
 			return errors.New("wire: knowledge-delta frame payload mismatch")
 		}
 		if f.Delta.Since > f.Delta.Ver {
@@ -188,6 +256,36 @@ func validate(f *Frame) error {
 		}
 		if f.Delta.Cadence > MaxCadence {
 			return fmt.Errorf("wire: cadence %d exceeds the %d-period bound", f.Delta.Cadence, MaxCadence)
+		}
+	case FrameJoin, FrameLeave:
+		m := f.Member
+		if m == nil || f.Heartbeat != nil || f.Data != nil || f.Delta != nil {
+			return errors.New("wire: membership frame payload mismatch")
+		}
+		if m.Epoch == 0 {
+			return errors.New("wire: membership frame at epoch 0")
+		}
+		if m.NumProcs > MaxProcs {
+			return fmt.Errorf("wire: membership declares %d processes, bound is %d", m.NumProcs, MaxProcs)
+		}
+		if m.Node < 0 || int(m.Node) >= m.NumProcs {
+			return fmt.Errorf("wire: membership subject %d outside [0,%d)", m.Node, m.NumProcs)
+		}
+		for _, d := range m.Departed {
+			if d < 0 || int(d) >= m.NumProcs {
+				return fmt.Errorf("wire: departed process %d outside [0,%d)", d, m.NumProcs)
+			}
+			if f.Kind == FrameJoin && d == m.Node {
+				return errors.New("wire: join frame tombstones its own subject")
+			}
+		}
+		if f.Kind == FrameLeave && len(m.Neighbors) != 0 {
+			return errors.New("wire: leave frame carries joiner links")
+		}
+		for _, nb := range m.Neighbors {
+			if nb < 0 || int(nb) >= m.NumProcs || nb == m.Node {
+				return fmt.Errorf("wire: joiner link to invalid process %d", nb)
+			}
 		}
 	default:
 		return fmt.Errorf("wire: unknown frame kind %d", f.Kind)

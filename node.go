@@ -268,6 +268,32 @@ func (n *Node) BroadcastCtx(ctx context.Context, body []byte) (Receipt, error) {
 // Stats returns a snapshot of the node's protocol counters.
 func (n *Node) Stats() NodeStats { return n.inner.Stats() }
 
+// Epoch returns the membership epoch the node currently operates in: 0
+// in a static cluster, and the epoch of the last applied membership
+// change in a dynamic one. Frames from older epochs are fenced off and
+// counted in NodeStats.StaleEpochFrames.
+func (n *Node) Epoch() uint64 { return n.inner.Epoch() }
+
+// Neighbors returns the node's current neighbor roster (a shared
+// snapshot; do not modify). The roster changes as membership
+// announcements add or remove adjacent processes.
+func (n *Node) Neighbors() []NodeID { return n.inner.Neighbors() }
+
+// AnnounceJoin floods this node's join announcement to its neighbors.
+// Call it once on a freshly constructed joiner — a node built with
+// WithEpoch (and WithDeparted when the cluster has tombstones) whose
+// neighbor list names its links into the running cluster. Receiving
+// members adopt the new epoch, learn their new link, and their next
+// heartbeats ship the full knowledge snapshots that fold the joiner in;
+// Cluster.AddNode wraps this for in-process fabrics.
+func (n *Node) AnnounceJoin() error { return n.inner.AnnounceJoin() }
+
+// AnnounceLeave removes a (stopped) member from the running cluster on
+// its behalf: this node tombstones the leaver, bumps the membership
+// epoch, and floods the announcement. Call it on any surviving member;
+// Cluster.RemoveNode wraps this for in-process fabrics.
+func (n *Node) AnnounceLeave(leaver NodeID) error { return n.inner.AnnounceLeave(leaver) }
+
 // CrashEstimate returns the node's current estimate of process i's
 // per-period crash probability and the estimate's distortion.
 func (n *Node) CrashEstimate(i NodeID) (mean float64, distortion int) {

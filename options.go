@@ -187,6 +187,23 @@ func WithObserver(o Observer) Option {
 	return func(c *nodeConfig) { c.obs = o }
 }
 
+// WithEpoch declares the initial membership epoch (default 0, the static
+// cluster). A node constructed to join a running cluster sets the epoch
+// of the membership change that admits it; its frames then ride wire
+// version 3 with the epoch fence, and AnnounceJoin floods the change to
+// the cluster. Epoch 0 keeps every frame byte-identical to pre-epoch
+// peers.
+func WithEpoch(epoch uint64) Option {
+	return func(c *nodeConfig) { c.inner.Epoch = epoch }
+}
+
+// WithDeparted lists the processes already tombstoned as of the node's
+// initial epoch (see WithEpoch), so a joiner's roster starts aligned with
+// the running cluster instead of waiting for announcements.
+func WithDeparted(ids ...NodeID) Option {
+	return func(c *nodeConfig) { c.inner.Departed = append([]NodeID(nil), ids...) }
+}
+
 // WithBayesIntervals sets U, the Bayesian estimator precision (default
 // 100, the paper's setting).
 func WithBayesIntervals(u int) Option {

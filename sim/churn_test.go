@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"testing"
+
+	"adaptivecast"
+	"adaptivecast/sim"
+)
+
+// TestRunChurnConvergesUnderMembershipChanges drives the churn harness
+// end to end: a ring survives a join, a leave, and another join, with
+// every probe broadcast reaching the full membership expected of it.
+func TestRunChurnConvergesUnderMembershipChanges(t *testing.T) {
+	ring, err := adaptivecast.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sim.RunChurn(sim.ChurnConfig{
+		Cluster: adaptivecast.ClusterConfig{Topology: ring},
+		Schedule: []sim.ChurnEvent{
+			{Period: 16, Join: true, Neighbors: []sim.NodeID{0, 2}},
+			{Period: 32, Node: 1},
+			{Period: 48, Join: true, Neighbors: []sim.NodeID{0, 4}},
+		},
+		Periods: 72,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Epoch != 3 {
+		t.Errorf("final epoch = %d, want 3", report.Epoch)
+	}
+	if report.Active != 5 || report.NumProcs != 6 {
+		t.Errorf("final membership = %d active of %d slots, want 5 of 6", report.Active, report.NumProcs)
+	}
+	if len(report.Probes) == 0 {
+		t.Fatal("no probes broadcast")
+	}
+	if !report.FullyDelivered() {
+		for _, p := range report.Probes {
+			t.Logf("probe at period %d from %d: delivered %d of %d", p.Period, p.Origin, p.Delivered, p.Expected)
+		}
+		t.Error("some probe missed part of its expected membership")
+	}
+}
+
+// TestRunChurnRejectsBadSchedules covers the input validation.
+func TestRunChurnRejectsBadSchedules(t *testing.T) {
+	if _, err := sim.RunChurn(sim.ChurnConfig{}); err == nil {
+		t.Error("missing topology should fail")
+	}
+	ring, err := adaptivecast.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunChurn(sim.ChurnConfig{
+		Cluster:  adaptivecast.ClusterConfig{Topology: ring},
+		Schedule: []sim.ChurnEvent{{Period: -1, Node: 1}},
+	})
+	if err == nil {
+		t.Error("negative event period should fail")
+	}
+}
