@@ -1,0 +1,83 @@
+// Command adaptivelint runs the repository's custom static-analysis
+// suite (see internal/analysis) over the packages matching the given
+// go-list patterns:
+//
+//	go run ./cmd/adaptivelint ./...
+//
+// It applies four analyzers, each machine-enforcing an invariant earlier
+// PRs could only state in prose:
+//
+//	atomicfields     — atomic-designated struct fields are only touched
+//	                   through sync/atomic (the lock-split node's counters,
+//	                   epoch, sequencer and lease)
+//	lockorder        — locks are acquired in the declared rank order and
+//	                   the view lock is never held across transport calls
+//	wirekind         — every FrameKind×wire-version pair has a fuzz seed,
+//	                   FrameKind switches stay exhaustive, and varint-sized
+//	                   allocations are clamped
+//	internalboundary — only the sanctioned facades import internal/
+//
+// Exit status is 1 when any finding survives (suppressions need an
+// inline //adaptivelint:ignore <analyzer> -- <reason> justification),
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/atomicfields"
+	"adaptivecast/internal/analysis/internalboundary"
+	"adaptivecast/internal/analysis/lockorder"
+	"adaptivecast/internal/analysis/wirekind"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: adaptivelint [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := []*analysis.Analyzer{
+		atomicfields.Analyzer,
+		lockorder.Analyzer,
+		wirekind.Analyzer,
+		internalboundary.Analyzer,
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptivelint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptivelint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "adaptivelint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package atomicfields_test
+
+import (
+	"strings"
+	"testing"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/atomicfields"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfields.Analyzer, "a", "example.com/m")
+}
+
+// TestSuppressions checks the three ignore-directive outcomes over
+// package b: a justified ignore suppresses, an unjustified one is
+// reported alongside the original finding, and a stale one is reported
+// on its own.
+func TestSuppressions(t *testing.T) {
+	pkg, err := analysistest.Load("testdata", "b", "example.com/m")
+	if err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{atomicfields.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var finding, missingReason, stale int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "atomicfields":
+			finding++
+		case strings.Contains(d.Message, "lacks a justification"):
+			missingReason++
+		case strings.Contains(d.Message, "stale ignore directive"):
+			stale++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	// The justified ignore in reset() must have silenced its finding, so
+	// the only surviving atomicfields finding is the unjustified one.
+	if finding != 1 || missingReason != 1 || stale != 1 {
+		t.Errorf("got %d findings / %d missing-justification / %d stale, want 1/1/1; all: %v",
+			finding, missingReason, stale, diags)
+	}
+}

@@ -1,0 +1,46 @@
+// Package a exercises the atomicfields analyzer: counters holds one
+// field of each class (sync/atomic typed, directive-tagged, plain) and
+// the functions below cover the allowed and forbidden uses of each.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Int64
+	total int64 //adaptivelint:atomic
+	plain int
+}
+
+func allowed(c *counters) int64 {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.total, 1)
+	c.plain++
+	return c.hits.Load() + atomic.LoadInt64(&c.total)
+}
+
+func badCopy(c *counters) {
+	x := c.hits // want `atomic field hits must only be used through its sync/atomic methods`
+	_ = x
+}
+
+func badIncrement(c *counters) {
+	c.total++ // want `field total is tagged`
+}
+
+func badRead(c *counters) int64 {
+	return c.total // want `field total is tagged`
+}
+
+func badWrite(c *counters) {
+	c.total = 7 // want `field total is tagged`
+}
+
+func badEscape(c *counters) *int64 {
+	return &c.total // want `field total is tagged`
+}
+
+func badNonAtomicCallee(c *counters) {
+	sink(&c.total) // want `field total is tagged`
+}
+
+func sink(p *int64) { _ = p }

@@ -1,0 +1,27 @@
+// Package b exercises the runner's suppression contract around
+// atomicfields findings: a justified ignore silences its finding, an
+// unjustified ignore leaves the finding alive and is reported itself,
+// and a justified ignore that matches nothing is reported as stale.
+// The expectations live in the test, not in want comments, because the
+// ignore directive occupies the line's comment slot.
+package b
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64 //adaptivelint:atomic
+}
+
+func reset(g *gauge) {
+	g.v = 0 //adaptivelint:ignore atomicfields -- runs in the constructor before any goroutine can see g
+	atomic.AddInt64(&g.v, 1)
+}
+
+func unjustified(g *gauge) int64 {
+	return g.v //adaptivelint:ignore atomicfields
+}
+
+//adaptivelint:ignore atomicfields -- nothing here actually trips the analyzer
+func stale(g *gauge) {
+	atomic.StoreInt64(&g.v, 5)
+}

@@ -1,0 +1,94 @@
+// Package internalboundary enforces the repository's API boundary: the
+// algorithmic engine lives under internal/ and is reachable from outside
+// only through the sanctioned facade packages (the root adaptivecast
+// package, sim and experiments). Every other package in the module —
+// cmd/, examples/, and anything added later — must build against the
+// facades alone, so the public surface stays the only contract and the
+// engine remains free to refactor (PR 1 established the split; this
+// analyzer machine-enforces it).
+package internalboundary
+
+import (
+	"strconv"
+	"strings"
+
+	"adaptivecast/internal/analysis"
+)
+
+// DefaultFacades are the packages sanctioned to import internal/ — the
+// facade layer that re-exports the engine (the module root package, sim
+// and experiments) plus the lint driver itself, which links the analyzer
+// packages but never the runtime engine. Paths are module-relative (""
+// is the module root package).
+var DefaultFacades = []string{"", "sim", "experiments", "cmd/adaptivelint"}
+
+// New builds the analyzer with an explicit facade allowlist
+// (module-relative paths; "" sanctions the module root package).
+func New(facades ...string) *analysis.Analyzer {
+	set := make(map[string]bool, len(facades))
+	for _, f := range facades {
+		set[f] = true
+	}
+	return &analysis.Analyzer{
+		Name: "internalboundary",
+		Doc:  "public packages, cmd/ and examples/ must not import internal/ packages directly; only the sanctioned facades may",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, set)
+			return nil
+		},
+	}
+}
+
+// Analyzer enforces the boundary with the repository's sanctioned
+// facade set.
+var Analyzer = New(DefaultFacades...)
+
+func run(pass *analysis.Pass, facades map[string]bool) {
+	if pass.Module == "" {
+		return // boundary is defined relative to the module
+	}
+	rel, inModule := moduleRelative(pass.Path, pass.Module)
+	if !inModule || hasInternalSegment(rel) {
+		return // internal packages may import each other freely
+	}
+	if facades[rel] {
+		return // sanctioned facade
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			impRel, ok := moduleRelative(ip, pass.Module)
+			if ok && hasInternalSegment(impRel) {
+				pass.Reportf(imp.Pos(),
+					"package %s imports %s: internal packages are reachable only through the sanctioned facades",
+					pass.Path, ip)
+			}
+		}
+	}
+}
+
+// moduleRelative trims the module prefix off an import path; ok reports
+// whether the path belongs to the module at all.
+func moduleRelative(path, module string) (rel string, ok bool) {
+	if path == module {
+		return "", true
+	}
+	if strings.HasPrefix(path, module+"/") {
+		return strings.TrimPrefix(path, module+"/"), true
+	}
+	return "", false
+}
+
+// hasInternalSegment reports whether a slash-separated path contains an
+// "internal" element (the Go toolchain's visibility rule boundary).
+func hasInternalSegment(rel string) bool {
+	for _, seg := range strings.Split(rel, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

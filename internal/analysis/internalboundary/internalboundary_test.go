@@ -1,0 +1,50 @@
+package internalboundary_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/internalboundary"
+)
+
+const module = "example.com/mod"
+
+func TestViolatingCommand(t *testing.T) {
+	a := internalboundary.New("")
+	analysistest.Run(t, "testdata", a, "example.com/mod/cmd/tool", module)
+}
+
+// TestFacadeIsSanctioned: the module root imports internal/ freely.
+func TestFacadeIsSanctioned(t *testing.T) {
+	a := internalboundary.New("")
+	diags := analysistest.Run(t, "testdata", a, "example.com/mod", module)
+	if len(diags) != 0 {
+		t.Errorf("facade package should be clean, got %v", diags)
+	}
+}
+
+// TestInternalExempt: internal packages import each other freely.
+func TestInternalExempt(t *testing.T) {
+	a := internalboundary.New("")
+	diags := analysistest.Run(t, "testdata", a, "example.com/mod/internal/engine", module)
+	if len(diags) != 0 {
+		t.Errorf("internal package should be exempt, got %v", diags)
+	}
+}
+
+// TestExtraFacade: sanctioning cmd/tool silences its finding.
+func TestExtraFacade(t *testing.T) {
+	a := internalboundary.New("", "cmd/tool")
+	pkg, err := analysistest.Load("testdata", "example.com/mod/cmd/tool", module)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("sanctioned cmd/tool should be clean, got %v", diags)
+	}
+}

@@ -1,0 +1,13 @@
+// Command tool violates the boundary: cmd/ must build against the
+// facade alone.
+package main
+
+import (
+	"example.com/mod"
+	"example.com/mod/internal/engine" // want `internal packages are reachable only through the sanctioned facades`
+)
+
+func main() {
+	_ = mod.Tick()
+	_ = engine.Tick()
+}

@@ -1,0 +1,6 @@
+// Package clock exists so the fixture proves internal→internal imports
+// stay exempt.
+package clock
+
+// Now returns a fake timestamp.
+func Now() int { return 0 }

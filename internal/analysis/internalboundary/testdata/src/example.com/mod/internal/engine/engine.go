@@ -1,0 +1,8 @@
+// Package engine is the fixture's internal engine: importable by the
+// facade and by sibling internal packages, but not by cmd/.
+package engine
+
+import "example.com/mod/internal/clock"
+
+// Tick advances the fake engine.
+func Tick() int { return clock.Now() + 1 }

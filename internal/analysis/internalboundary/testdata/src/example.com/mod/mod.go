@@ -1,0 +1,8 @@
+// Package mod is the fixture module's root facade: the one sanctioned
+// public importer of internal/.
+package mod
+
+import "example.com/mod/internal/engine"
+
+// Tick re-exports the engine through the facade.
+func Tick() int { return engine.Tick() }

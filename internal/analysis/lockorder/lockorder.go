@@ -1,0 +1,434 @@
+// Package lockorder enforces the lock hierarchy of the lock-split node
+// (PR 2) from a machine-readable declaration instead of reviewer memory.
+// A package declares its hierarchy with package-level directives
+// (internal/node keeps them in lockrank.go):
+//
+//	//adaptivelint:lockrank Node.memberMu=10 Node.planMu=20 Node.viewMu=30
+//	//adaptivelint:lockrank Node.peerMu=60 Node.cadMu=60 Node.leaseMu=60
+//	//adaptivelint:noblockingcalls Node.viewMu
+//	//adaptivelint:blockingpkg adaptivecast/internal/transport
+//
+// Each lockrank assignment names a struct field holding a sync.Mutex /
+// sync.RWMutex and its rank. Within any one goroutine (analyzed
+// intraprocedurally, per function body), locks must be acquired in
+// strictly increasing rank order — acquiring a lock while holding one of
+// equal or higher rank is reported. Locks sharing a rank are leaves that
+// must never nest with each other. A lock tagged noblockingcalls must
+// not be held across any call into a blockingpkg package (the node's
+// rule: the view lock is never held while sending on the transport, or a
+// slow peer backpressures every heartbeat merge).
+//
+// The analysis is deliberately intraprocedural and flow-sensitive the
+// simple way: statements are scanned in source order, defer'd unlocks
+// keep their lock held to the end of the function, branches merge
+// conservatively (a lock counts as held after an if/switch only when
+// every falling-through branch still holds it), and function literals
+// start with an empty held set (they run on their own goroutine or after
+// the enclosing locks are released; a literal that races its parent's
+// locks is beyond this checker). False negatives are acceptable; false
+// positives fail CI, so every rule errs toward silence.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"adaptivecast/internal/analysis"
+)
+
+// Analyzer checks declared lock hierarchies.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "locks must be acquired in the declared rank order, and noblockingcalls locks must not be held across calls into blocking packages",
+	Run:  run,
+}
+
+// lockDecl is one declared lock.
+type lockDecl struct {
+	name       string // "Type.field", as declared
+	rank       int
+	noBlocking bool
+}
+
+// config is the hierarchy a package declared.
+type config struct {
+	locks        map[*types.Var]*lockDecl
+	blockingPkgs map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	cfg, err := parseConfig(pass)
+	if err != nil {
+		return err
+	}
+	if len(cfg.locks) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				s := &scanner{pass: pass, cfg: cfg}
+				s.scanStmts(fd.Body.List, newHeldSet())
+			}
+		}
+	}
+	return nil
+}
+
+// parseConfig resolves the package's lockrank / noblockingcalls /
+// blockingpkg directives against its type information.
+func parseConfig(pass *analysis.Pass) (*config, error) {
+	cfg := &config{
+		locks:        make(map[*types.Var]*lockDecl),
+		blockingPkgs: make(map[string]bool),
+	}
+	byName := make(map[string]*lockDecl)
+	for _, d := range pass.Directives() {
+		switch d.Verb {
+		case "lockrank":
+			for _, assign := range strings.Fields(d.Args) {
+				name, rankStr, ok := strings.Cut(assign, "=")
+				if !ok {
+					return nil, fmt.Errorf("malformed lockrank assignment %q (want Type.field=rank)", assign)
+				}
+				rank, err := strconv.Atoi(rankStr)
+				if err != nil {
+					return nil, fmt.Errorf("malformed lockrank rank in %q: %v", assign, err)
+				}
+				fieldVar, err := resolveField(pass, name)
+				if err != nil {
+					return nil, err
+				}
+				decl := &lockDecl{name: name, rank: rank}
+				cfg.locks[fieldVar] = decl
+				byName[name] = decl
+			}
+		case "noblockingcalls":
+			for _, name := range strings.Fields(d.Args) {
+				decl, ok := byName[name]
+				if !ok {
+					return nil, fmt.Errorf("noblockingcalls names %q, which has no lockrank declaration", name)
+				}
+				decl.noBlocking = true
+			}
+		case "blockingpkg":
+			for _, p := range strings.Fields(d.Args) {
+				cfg.blockingPkgs[p] = true
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// resolveField finds the types.Var for a "Type.field" lock name in the
+// package scope.
+func resolveField(pass *analysis.Pass, name string) (*types.Var, error) {
+	typeName, fieldName, ok := strings.Cut(name, ".")
+	if !ok {
+		return nil, fmt.Errorf("malformed lock name %q (want Type.field)", name)
+	}
+	obj := pass.Pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil, fmt.Errorf("lockrank names unknown type %q", typeName)
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("lockrank target %q is not a named type", typeName)
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("lockrank target %q is not a struct", typeName)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return st.Field(i), nil
+		}
+	}
+	return nil, fmt.Errorf("lockrank names unknown field %q on %q", fieldName, typeName)
+}
+
+// heldSet tracks the locks currently held, in acquisition order.
+type heldSet struct {
+	order []*lockDecl
+}
+
+func newHeldSet() *heldSet { return &heldSet{} }
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{order: append([]*lockDecl(nil), h.order...)}
+}
+
+func (h *heldSet) acquire(d *lockDecl) { h.order = append(h.order, d) }
+
+func (h *heldSet) release(d *lockDecl) {
+	for i := len(h.order) - 1; i >= 0; i-- {
+		if h.order[i] == d {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *heldSet) holds(d *lockDecl) bool {
+	for _, held := range h.order {
+		if held == d {
+			return true
+		}
+	}
+	return false
+}
+
+// intersect keeps only the locks held in both sets (the conservative
+// merge after a branch).
+func (h *heldSet) intersect(other *heldSet) {
+	var kept []*lockDecl
+	for _, d := range h.order {
+		if other.holds(d) {
+			kept = append(kept, d)
+		}
+	}
+	h.order = kept
+}
+
+type scanner struct {
+	pass *analysis.Pass
+	cfg  *config
+}
+
+// scanStmts processes a statement list in source order, mutating held.
+// It reports whether the list definitely terminates the enclosing
+// function (ends in return or an if/else where both arms terminate).
+func (s *scanner) scanStmts(stmts []ast.Stmt, held *heldSet) (terminates bool) {
+	for _, stmt := range stmts {
+		if s.scanStmt(stmt, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scanner) scanStmt(stmt ast.Stmt, held *heldSet) (terminates bool) {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.scanExpr(st.Cond, held)
+		bodyHeld := held.clone()
+		bodyTerm := s.scanStmts(st.Body.List, bodyHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = s.scanStmt(st.Else, elseHeld)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			held.order = elseHeld.order
+		case elseTerm:
+			held.order = bodyHeld.order
+		default:
+			bodyHeld.intersect(elseHeld)
+			held.order = bodyHeld.order
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.scanExpr(st.Cond, held)
+		}
+		body := held.clone()
+		s.scanStmts(st.Body.List, body)
+		if st.Post != nil {
+			s.scanStmt(st.Post, body)
+		}
+		return false // assume loop bodies balance their locks
+	case *ast.RangeStmt:
+		s.scanExpr(st.X, held)
+		body := held.clone()
+		s.scanStmts(st.Body.List, body)
+		return false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.scanExpr(st.Tag, held)
+		}
+		s.scanCases(st.Body.List, held)
+		return false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.scanStmt(st.Init, held)
+		}
+		s.scanStmt(st.Assign, held)
+		s.scanCases(st.Body.List, held)
+		return false
+	case *ast.SelectStmt:
+		s.scanCases(st.Body.List, held)
+		return false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held to the end of the function,
+		// which is exactly how the held set already models it: process
+		// nothing. Other deferred calls run after the body, outside this
+		// linear model; their function literals are scanned fresh.
+		s.scanFuncLits(st.Call, held)
+		return false
+	case *ast.GoStmt:
+		s.scanFuncLits(st.Call, held)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.scanExpr(r, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return false
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	case nil:
+		return false
+	default:
+		s.scanExprIn(stmt, held)
+		return false
+	}
+}
+
+// scanCases processes switch/select clause bodies, merging held
+// conservatively across the falling-through clauses.
+func (s *scanner) scanCases(clauses []ast.Stmt, held *heldSet) {
+	var merged *heldSet
+	for _, clause := range clauses {
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.scanExpr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				s.scanStmt(c.Comm, held.clone())
+			}
+			body = c.Body
+		}
+		h := held.clone()
+		if !s.scanStmts(body, h) {
+			if merged == nil {
+				merged = h
+			} else {
+				merged.intersect(h)
+			}
+		}
+	}
+	if merged != nil {
+		held.order = merged.order
+	}
+}
+
+// scanExprIn walks every expression inside a statement that has no
+// dedicated structural handling (assignments, expression statements,
+// channel sends, declarations...).
+func (s *scanner) scanExprIn(n ast.Node, held *heldSet) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch c := child.(type) {
+		case *ast.FuncLit:
+			s.scanStmts(c.Body.List, newHeldSet())
+			return false
+		case *ast.CallExpr:
+			// Arguments and nested calls first (inner calls happen
+			// before the outer call completes; ordering within one
+			// statement is approximate anyway).
+			for _, arg := range c.Args {
+				s.scanExpr(arg, held)
+			}
+			s.handleCall(c, held)
+			return false
+		}
+		return true
+	})
+}
+
+func (s *scanner) scanExpr(e ast.Expr, held *heldSet) {
+	if e != nil {
+		s.scanExprIn(e, held)
+	}
+}
+
+// scanFuncLits scans only the function literals under a call (for go /
+// defer statements whose own call effect is out of linear order).
+func (s *scanner) scanFuncLits(n ast.Node, held *heldSet) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if fl, ok := child.(*ast.FuncLit); ok {
+			s.scanStmts(fl.Body.List, newHeldSet())
+			return false
+		}
+		return true
+	})
+}
+
+// handleCall interprets one call: Lock/Unlock on a declared lock mutates
+// the held set and checks ordering; any other call is checked against the
+// blocking rule.
+func (s *scanner) handleCall(call *ast.CallExpr, held *heldSet) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if decl := s.lockOf(sel.X); decl != nil {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			for _, h := range held.order {
+				if h.rank >= decl.rank {
+					s.pass.Reportf(call.Pos(),
+						"acquires %s (rank %d) while holding %s (rank %d); the declared lock order requires strictly increasing ranks",
+						decl.name, decl.rank, h.name, h.rank)
+				}
+			}
+			held.acquire(decl)
+			return
+		case "Unlock", "RUnlock":
+			held.release(decl)
+			return
+		}
+	}
+	// Not a lock operation: blocking-package check.
+	obj := s.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || !s.cfg.blockingPkgs[obj.Pkg().Path()] {
+		return
+	}
+	for _, h := range held.order {
+		if h.noBlocking {
+			s.pass.Reportf(call.Pos(),
+				"calls %s.%s while holding %s, which must not be held across blocking calls",
+				obj.Pkg().Name(), obj.Name(), h.name)
+		}
+	}
+}
+
+// lockOf resolves an expression to a declared lock, if it selects one of
+// the ranked fields.
+func (s *scanner) lockOf(e ast.Expr) *lockDecl {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := s.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return s.cfg.locks[field]
+}

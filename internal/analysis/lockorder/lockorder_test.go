@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/lockorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "a", "example.com/m")
+}

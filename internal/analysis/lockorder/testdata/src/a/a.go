@@ -1,0 +1,106 @@
+// Package a exercises the lockorder analyzer against a miniature of the
+// node's lock hierarchy: three ranked locks, two same-rank leaves, and a
+// blocking transport package that must never be called under viewMu.
+package a
+
+import (
+	"sync"
+
+	"fake/transport"
+)
+
+//adaptivelint:lockrank Node.memberMu=10 Node.planMu=20 Node.viewMu=30
+//adaptivelint:lockrank Node.peerMu=40 Node.cadMu=40
+//adaptivelint:noblockingcalls Node.viewMu
+//adaptivelint:blockingpkg fake/transport
+
+type Node struct {
+	memberMu sync.Mutex
+	planMu   sync.Mutex
+	viewMu   sync.RWMutex
+	peerMu   sync.Mutex
+	cadMu    sync.Mutex
+	conn     *transport.Conn
+}
+
+func (n *Node) goodNesting() {
+	n.memberMu.Lock()
+	defer n.memberMu.Unlock()
+	n.planMu.Lock()
+	n.viewMu.Lock()
+	n.viewMu.Unlock()
+	n.planMu.Unlock()
+}
+
+func (n *Node) badInversion() {
+	n.viewMu.Lock()
+	n.planMu.Lock() // want `acquires Node.planMu \(rank 20\) while holding Node.viewMu \(rank 30\)`
+	n.planMu.Unlock()
+	n.viewMu.Unlock()
+}
+
+func (n *Node) badLeafNesting() {
+	n.peerMu.Lock()
+	n.cadMu.Lock() // want `acquires Node.cadMu \(rank 40\) while holding Node.peerMu \(rank 40\)`
+	n.cadMu.Unlock()
+	n.peerMu.Unlock()
+}
+
+func (n *Node) badSendUnderViewLock() {
+	n.viewMu.RLock()
+	n.conn.Send(nil) // want `calls transport.Send while holding Node.viewMu`
+	n.viewMu.RUnlock()
+}
+
+func (n *Node) badSendUnderDeferredViewLock() {
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	transport.Broadcast(n.conn, nil) // want `calls transport.Broadcast while holding Node.viewMu`
+}
+
+func (n *Node) goodSendAfterUnlock() {
+	n.viewMu.RLock()
+	peers := 3
+	n.viewMu.RUnlock()
+	for i := 0; i < peers; i++ {
+		transport.Broadcast(n.conn, nil)
+	}
+}
+
+// goodBranchMerge: the lock is only held inside the branch that also
+// releases it, so the merged state after the if holds nothing.
+func (n *Node) goodBranchMerge(ok bool) {
+	if ok {
+		n.viewMu.Lock()
+		n.viewMu.Unlock()
+	}
+	transport.Broadcast(n.conn, nil)
+}
+
+// badAfterEarlyReturn: the only path reaching the send still holds
+// viewMu, because the branch that released it returned.
+func (n *Node) badAfterEarlyReturn(ok bool) {
+	n.viewMu.Lock()
+	if ok {
+		n.viewMu.Unlock()
+		return
+	}
+	n.conn.Send(nil) // want `calls transport.Send while holding Node.viewMu`
+	n.viewMu.Unlock()
+}
+
+// goodGoroutine: a spawned literal starts with an empty held set.
+func (n *Node) goodGoroutine() {
+	n.viewMu.Lock()
+	go func() {
+		transport.Broadcast(n.conn, nil)
+	}()
+	n.viewMu.Unlock()
+}
+
+func (n *Node) goodLeafAfterLeaf() {
+	n.peerMu.Lock()
+	n.peerMu.Unlock()
+	n.cadMu.Lock()
+	n.cadMu.Unlock()
+}

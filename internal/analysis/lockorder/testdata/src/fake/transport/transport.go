@@ -1,0 +1,15 @@
+// Package transport is the blocking-package stand-in for the lockorder
+// analyzer tests: the fixture declares it with
+// //adaptivelint:blockingpkg, so any call into it while holding a
+// noblockingcalls lock must be reported.
+package transport
+
+// Conn is a fake connection; Send stands in for a blocking network
+// write.
+type Conn struct{}
+
+// Send pretends to block on the network.
+func (c *Conn) Send(b []byte) error { return nil }
+
+// Broadcast is a package-level blocking entry point.
+func Broadcast(c *Conn, b []byte) error { return c.Send(b) }

@@ -1,0 +1,49 @@
+// Package selftest is the lint suite's negative control: a fixture
+// command seeded with one violation per analyzer is pushed through the
+// same analysis.Run path cmd/adaptivelint uses, and the test fails if
+// any analyzer stays silent. A passing adaptivelint run over the real
+// tree is only meaningful while this test proves the analyzers still
+// fire.
+package selftest
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/atomicfields"
+	"adaptivecast/internal/analysis/internalboundary"
+	"adaptivecast/internal/analysis/lockorder"
+	"adaptivecast/internal/analysis/wirekind"
+)
+
+func TestEachAnalyzerFires(t *testing.T) {
+	pkg, err := analysistest.Load("testdata", "example.com/mod/cmd/broken", "example.com/mod")
+	if err != nil {
+		t.Fatalf("load seeded fixture: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		atomicfields.Analyzer,
+		lockorder.Analyzer,
+		wirekind.Analyzer,
+		internalboundary.New(""),
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fired := make(map[string]int)
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range analyzers {
+		if fired[a.Name] == 0 {
+			t.Errorf("%s reported nothing over its seeded violation; the lint gate would miss a real regression", a.Name)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("reported: %s", d)
+		}
+	}
+}

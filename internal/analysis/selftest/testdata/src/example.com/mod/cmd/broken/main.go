@@ -1,0 +1,50 @@
+// Command broken seeds exactly one violation per adaptivelint analyzer,
+// so the self-test can prove the lint gate actually fails when an
+// invariant breaks:
+//
+//   - internalboundary: a cmd/ package importing internal/engine
+//   - atomicfields:     copying an atomic.Int64 field
+//   - lockorder:        acquiring hi (rank 10) while holding lo (rank 20)
+//   - wirekind:         a FrameKind switch missing frameB
+package main
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"example.com/mod/internal/engine"
+)
+
+//adaptivelint:lockrank state.hi=10 state.lo=20
+
+type state struct {
+	hi   sync.Mutex
+	lo   sync.Mutex
+	hits atomic.Int64
+}
+
+type FrameKind byte
+
+const (
+	frameA FrameKind = 1
+	frameB FrameKind = 2
+)
+
+func main() {
+	var s state
+
+	s.lo.Lock()
+	s.hi.Lock() // lockorder: rank inversion
+	s.hi.Unlock()
+	s.lo.Unlock()
+
+	copied := s.hits // atomicfields: atomic value copied
+	_ = copied
+
+	k := FrameKind(1)
+	switch k { // wirekind: frameB unhandled
+	case frameA:
+	}
+
+	_ = engine.Tick() // internalboundary: cmd/ reaching around the facade
+}

@@ -1,0 +1,6 @@
+// Package engine is the internal package the seeded command reaches
+// around the facade.
+package engine
+
+// Tick advances the fake engine.
+func Tick() int { return 1 }

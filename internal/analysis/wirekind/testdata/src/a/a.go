@@ -1,0 +1,89 @@
+// Package a is a miniature wire codec exercising all three wirekind
+// checks: corpus coverage of declared kind×version pairs, FrameKind
+// switch exhaustiveness, and varint-sized allocation clamping. The
+// corpus under testdata/fuzz/FuzzDecode seeds alpha@v1 and beta@v1 only,
+// so beta@v2 must be reported as unseeded.
+//
+//adaptivelint:wirecorpus dir=testdata/fuzz/FuzzDecode magic=0xAB
+package a
+
+type FrameKind byte
+
+const (
+	FrameAlpha FrameKind = 1 //adaptivelint:wirekind versions=1
+
+	//adaptivelint:wirekind versions=1,2
+	FrameBeta FrameKind = 2 // want `no fuzz corpus seed in testdata/fuzz/FuzzDecode covers FrameBeta at wire version 2`
+
+	FrameGamma FrameKind = 3 // want `FrameKind constant FrameGamma lacks a`
+)
+
+func describe(k FrameKind) string {
+	switch k {
+	case FrameAlpha:
+		return "alpha"
+	case FrameBeta:
+		return "beta"
+	case FrameGamma:
+		return "gamma"
+	}
+	return ""
+}
+
+func incomplete(k FrameKind) string {
+	switch k { // want `switch on a\.FrameKind does not handle FrameGamma`
+	case FrameAlpha:
+		return "alpha"
+	case FrameBeta:
+		return "beta"
+	default:
+		return "?"
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for r.off < len(r.buf) {
+		b := r.buf[r.off]
+		r.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	return v
+}
+
+const maxList = 64
+
+func decodeUnclamped(r *reader) []uint64 {
+	n := r.uvarint()
+	out := make([]uint64, n) // want `make sized by n, read from a raw varint with no bounds check`
+	for i := range out {
+		out[i] = r.uvarint()
+	}
+	return out
+}
+
+func decodeClamped(r *reader) []uint64 {
+	n := r.uvarint()
+	if n > maxList {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.uvarint()
+	}
+	return out
+}
+
+func decodeInline(r *reader) []byte {
+	return make([]byte, r.uvarint()) // want `make sized directly by an unclamped varint read`
+}

@@ -1,0 +1,26 @@
+// Package b proves the switch-exhaustiveness check reaches importing
+// packages: the FrameKind constants are enumerated from package a's
+// scope, so a switch here must still cover all of them.
+package b
+
+import "a"
+
+func route(k a.FrameKind) int {
+	switch k { // want `switch on a\.FrameKind does not handle FrameBeta, FrameGamma`
+	case a.FrameAlpha:
+		return 1
+	}
+	return 0
+}
+
+func full(k a.FrameKind) int {
+	switch k {
+	case a.FrameAlpha:
+		return 1
+	case a.FrameBeta:
+		return 2
+	case a.FrameGamma:
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,436 @@
+// Package wirekind keeps the wire codec's three coupled artifacts from
+// drifting apart when a frame kind or wire version is added (the PR 2-5
+// rule that previously lived in reviewer memory):
+//
+//  1. Corpus coverage. The package declaring the FrameKind type carries
+//     a corpus directive and per-constant version annotations:
+//
+//     //adaptivelint:wirecorpus dir=testdata/fuzz/FuzzDecode magic=0xAC
+//
+//     const (
+//     FrameHeartbeat FrameKind = iota + 1 //adaptivelint:wirekind versions=1
+//     FrameData //adaptivelint:wirekind versions=1,3
+//     )
+//
+//     Every declared (kind, version) pair must be witnessed by at least
+//     one committed FuzzDecode seed whose 3-byte header matches, so a new
+//     kind or version cannot ship without fuzz coverage. A FrameKind
+//     constant with no versions annotation is itself reported.
+//
+//  2. Switch exhaustiveness. Every switch over a FrameKind-typed value —
+//     in any package — must enumerate every FrameKind constant among its
+//     cases (a default clause does not exempt it): the encoder, decoder,
+//     validator and the node's dispatch each learn about new kinds at
+//     build time instead of at runtime.
+//
+//  3. Bounded varint allocations. Inside the declaring package, a make()
+//     sized by a raw uvarint/varint read is reported unless the value
+//     was bounds-checked first (the wire.MaxCadence / wire.MaxProcs /
+//     reader.count discipline): a hostile length prefix must never drive
+//     a giant allocation.
+package wirekind
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"adaptivecast/internal/analysis"
+)
+
+// KindTypeName is the named type whose constants drive the checks.
+const KindTypeName = "FrameKind"
+
+// Analyzer keeps frame kinds, the fuzz corpus, and the codec switches
+// coherent.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirekind",
+	Doc:  "every FrameKind×version pair needs a fuzz seed, every FrameKind switch must be exhaustive, and varint-sized allocations must be clamped",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if err := checkCorpus(pass); err != nil {
+		return err
+	}
+	checkSwitches(pass)
+	if declaresKindType(pass) {
+		for _, f := range pass.Files {
+			checkVarintAllocs(pass, f)
+		}
+	}
+	return nil
+}
+
+// declaresKindType reports whether this package declares the FrameKind
+// type itself.
+func declaresKindType(pass *analysis.Pass) bool {
+	obj := pass.Pkg.Scope().Lookup(KindTypeName)
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Corpus coverage
+// ---------------------------------------------------------------------------
+
+type corpusConfig struct {
+	dir   string
+	magic byte
+	pos   token.Pos
+}
+
+func parseCorpusDirective(pass *analysis.Pass) (*corpusConfig, error) {
+	for _, d := range pass.Directives() {
+		if d.Verb != "wirecorpus" {
+			continue
+		}
+		cfg := &corpusConfig{pos: d.Pos}
+		for _, kv := range strings.Fields(d.Args) {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("malformed wirecorpus argument %q", kv)
+			}
+			switch key {
+			case "dir":
+				cfg.dir = val
+			case "magic":
+				m, err := strconv.ParseUint(val, 0, 8)
+				if err != nil {
+					return nil, fmt.Errorf("malformed wirecorpus magic %q: %v", val, err)
+				}
+				cfg.magic = byte(m)
+			default:
+				return nil, fmt.Errorf("unknown wirecorpus argument %q", key)
+			}
+		}
+		if cfg.dir == "" {
+			return nil, fmt.Errorf("wirecorpus directive lacks dir=")
+		}
+		return cfg, nil
+	}
+	return nil, nil
+}
+
+// kindConst is one FrameKind constant and its declared wire versions.
+type kindConst struct {
+	name     string
+	value    uint64
+	versions []uint64 // nil when the annotation is missing
+	pos      token.Pos
+}
+
+// collectKindConsts gathers the FrameKind constants declared in this
+// package together with their versions= annotations.
+func collectKindConsts(pass *analysis.Pass) ([]*kindConst, error) {
+	var out []*kindConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isKindType(obj.Type()) {
+						continue
+					}
+					val, ok := constant.Uint64Val(obj.Val())
+					if !ok {
+						continue
+					}
+					kc := &kindConst{name: name.Name, value: val, pos: name.Pos()}
+					for _, cg := range []*ast.CommentGroup{vs.Doc, vs.Comment} {
+						for _, d := range analysis.CommentDirectives(cg) {
+							if d.Verb != "wirekind" {
+								continue
+							}
+							versions, err := parseVersions(d.Args)
+							if err != nil {
+								return nil, fmt.Errorf("%s: %v", name.Name, err)
+							}
+							kc.versions = versions
+						}
+					}
+					out = append(out, kc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func parseVersions(args string) ([]uint64, error) {
+	val, ok := strings.CutPrefix(args, "versions=")
+	if !ok {
+		return nil, fmt.Errorf("malformed wirekind directive %q (want versions=1,2)", args)
+	}
+	var out []uint64
+	for _, s := range strings.Split(val, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("malformed wirekind version %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty wirekind versions list")
+	}
+	return out, nil
+}
+
+func checkCorpus(pass *analysis.Pass) error {
+	cfg, err := parseCorpusDirective(pass)
+	if err != nil {
+		return err
+	}
+	if cfg == nil {
+		return nil // not the declaring package
+	}
+	consts, err := collectKindConsts(pass)
+	if err != nil {
+		return err
+	}
+	seeded, err := corpusHeaders(filepath.Join(pass.Dir, cfg.dir), cfg.magic)
+	if err != nil {
+		pass.Reportf(cfg.pos, "cannot read fuzz corpus: %v", err)
+		return nil
+	}
+	for _, kc := range consts {
+		if kc.versions == nil {
+			pass.Reportf(kc.pos,
+				"FrameKind constant %s lacks a //adaptivelint:wirekind versions=... annotation declaring the wire versions it rides", kc.name)
+			continue
+		}
+		for _, ver := range kc.versions {
+			if !seeded[header{version: byte(ver), kind: byte(kc.value)}] {
+				pass.Reportf(kc.pos,
+					"no fuzz corpus seed in %s covers %s at wire version %d; add one (see TestWriteSeedCorpus) so the decoder path stays fuzzed",
+					cfg.dir, kc.name, ver)
+			}
+		}
+	}
+	return nil
+}
+
+// header is the 2 bytes after the magic of one seeded frame.
+type header struct{ version, kind byte }
+
+// corpusHeaders decodes the go-fuzz corpus files in dir and returns the
+// set of frame headers witnessed by well-formed seeds.
+func corpusHeaders(dir string, magic byte) (map[header]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[header]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		b, ok := fuzzCorpusBytes(string(data))
+		if !ok || len(b) < 3 || b[0] != magic {
+			continue
+		}
+		out[header{version: b[1], kind: b[2]}] = true
+	}
+	return out, nil
+}
+
+// fuzzCorpusBytes extracts the []byte value from a go-fuzz corpus file
+// ("go test fuzz v1" header followed by one []byte(...) literal).
+func fuzzCorpusBytes(content string) ([]byte, bool) {
+	lines := strings.Split(content, "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, false
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "[]byte(")
+		if !ok {
+			continue
+		}
+		lit, ok := strings.CutSuffix(rest, ")")
+		if !ok {
+			continue
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, false
+		}
+		return []byte(s), true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Switch exhaustiveness
+// ---------------------------------------------------------------------------
+
+// isKindType reports whether t is a named type called FrameKind.
+func isKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == KindTypeName
+}
+
+// kindConstsOf enumerates every constant of the FrameKind type declared
+// in the type's own package (resolved through export data for imported
+// types, so the check works from any package).
+func kindConstsOf(t types.Type) []*types.Const {
+	named := t.(*types.Named)
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), t) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func checkSwitches(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok || !isKindType(tv.Type) {
+				return true
+			}
+			all := kindConstsOf(tv.Type)
+			covered := make(map[*types.Const]bool)
+			for _, clause := range sw.Body.List {
+				for _, e := range clause.(*ast.CaseClause).List {
+					if id := identOf(e); id != nil {
+						if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+							covered[c] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, c := range all {
+				if !covered[c] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on %s does not handle %s; every frame kind must be dispatched explicitly (a default clause does not count)",
+					tv.Type, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// identOf unwraps qualified (pkg.Name) and bare identifiers.
+func identOf(e ast.Expr) *ast.Ident {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v
+	case *ast.SelectorExpr:
+		return v.Sel
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Bounded varint allocations
+// ---------------------------------------------------------------------------
+
+// checkVarintAllocs flags make() calls sized by a raw varint read. The
+// taint is per-function and syntactic: a variable assigned from a call
+// to a method named uvarint/varint is tainted until it appears in an if
+// condition (the bounds check); make() with a tainted size — or with an
+// inline varint read — is reported.
+func checkVarintAllocs(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		tainted := make(map[types.Object]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if !isVarintCall(rhs) || i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			case *ast.IfStmt:
+				// A condition mentioning the variable is taken as its
+				// bounds check.
+				ast.Inspect(st.Cond, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							delete(tainted, obj)
+						}
+					}
+					return true
+				})
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "make" {
+					for _, arg := range st.Args[1:] {
+						reportTaintedSize(pass, arg, tainted)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isVarintCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "uvarint" || sel.Sel.Name == "varint"
+}
+
+func reportTaintedSize(pass *analysis.Pass, size ast.Expr, tainted map[types.Object]bool) {
+	ast.Inspect(size, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil && tainted[obj] {
+				pass.Reportf(v.Pos(),
+					"make sized by %s, read from a raw varint with no bounds check; clamp it against the remaining frame (reader.count) or a declared maximum first", v.Name)
+			}
+		case *ast.CallExpr:
+			if isVarintCall(v) {
+				pass.Reportf(v.Pos(),
+					"make sized directly by an unclamped varint read; clamp it against the remaining frame (reader.count) or a declared maximum first")
+				return false
+			}
+		}
+		return true
+	})
+}

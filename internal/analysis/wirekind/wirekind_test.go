@@ -1,0 +1,20 @@
+package wirekind_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/wirekind"
+)
+
+// TestDeclaringPackage covers the corpus audit, the in-package switch
+// check and the varint-allocation check over the fixture codec.
+func TestDeclaringPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", wirekind.Analyzer, "a", "example.com/m")
+}
+
+// TestImportingPackage covers switch exhaustiveness seen from a package
+// that merely imports the FrameKind type.
+func TestImportingPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", wirekind.Analyzer, "b", "example.com/m")
+}

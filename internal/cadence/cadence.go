@@ -13,18 +13,40 @@ package cadence
 const StableAfter = 2
 
 // State is the controller's bookkeeping toward one neighbor. The zero
-// value is NOT ready — use New (the interval starts at 1).
+// value is NOT ready — use New or Resume (the interval starts at 1).
 type State struct {
 	interval int // current inter-frame gap in periods (1..max)
 	stable   int // consecutive stable periods observed
 	wait     int // periods left before the next frame is due
+	resume   int // persisted pre-crash interval, 0 once consumed
 }
 
 // New returns the classic one-frame-per-period state.
 func New() *State { return &State{interval: 1} }
 
+// Resume returns a state that starts at the classic one-frame-per-period
+// cadence but remembers the interval a previous incarnation had
+// stretched to: the neighbor must still prove itself stable for
+// StableAfter periods, and the first stretch then jumps straight to the
+// remembered interval instead of re-walking the geometric ramp. The hint
+// survives snap-backs until that first stretch consumes it — a restarted
+// node's first periods are always unstable (its peers ack nothing yet,
+// so every delta falls back to a full snapshot), and losing the hint to
+// that transient would make Resume useless.
+func Resume(interval int) *State {
+	if interval <= 1 {
+		return New()
+	}
+	return &State{interval: 1, resume: interval}
+}
+
 // Interval exposes the current inter-frame gap (tests, introspection).
 func (s *State) Interval() int { return s.interval }
+
+// Hint exposes the unconsumed resume interval, 0 when none remains.
+// Persistence uses it so an un-reclaimed stretch survives a second
+// crash that happens before the neighbor turns stable again.
+func (s *State) Hint() int { return s.resume }
 
 // Step advances the controller by one heartbeat period and decides
 // whether a frame is due now. While the neighborhood is stable the
@@ -43,7 +65,12 @@ func (s *State) Step(stable bool, max int) (cadence int, due bool) {
 		return s.interval, false
 	}
 	if s.stable >= StableAfter && s.interval < max {
-		s.interval *= 2
+		next := s.interval * 2
+		if s.resume > next {
+			next = s.resume
+		}
+		s.resume = 0 // consumed by the first stretch, jump or not
+		s.interval = next
 		if s.interval > max {
 			s.interval = max
 		}

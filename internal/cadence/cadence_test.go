@@ -58,3 +58,71 @@ func TestStepRespectsOddCap(t *testing.T) {
 		t.Errorf("interval = %d, want the odd cap 6", s.Interval())
 	}
 }
+
+// TestResumeJumpsToPersistedStretch pins the restart contract: a resumed
+// controller re-probes at cadence 1, and its first stretch jumps
+// straight to the persisted interval instead of re-walking the ramp.
+func TestResumeJumpsToPersistedStretch(t *testing.T) {
+	const max = 16
+	s := Resume(8)
+	if s.Interval() != 1 {
+		t.Fatalf("resumed interval = %d, want 1 until the neighbor proves stable", s.Interval())
+	}
+	if s.Hint() != 8 {
+		t.Fatalf("resume hint = %d, want 8", s.Hint())
+	}
+	// Post-restart churn: snap-backs before any stretch keep the hint.
+	s.Step(false, max)
+	s.Step(true, max)
+	s.Step(false, max)
+	if s.Hint() != 8 {
+		t.Fatalf("hint after pre-stretch snap-backs = %d, want 8 (unconsumed)", s.Hint())
+	}
+	// StableAfter stable periods trigger the first stretch: 1 -> 8.
+	for p := 0; p < StableAfter; p++ {
+		s.Step(true, max)
+	}
+	if s.Interval() != 8 {
+		t.Errorf("first stretch reached %d, want direct jump to 8", s.Interval())
+	}
+	if s.Hint() != 0 {
+		t.Errorf("hint after the jump = %d, want 0 (consumed)", s.Hint())
+	}
+	// From there the ramp continues geometrically and later snap-backs
+	// re-learn from scratch: the hint is gone. (The stretch is evaluated
+	// at send time, so the 8-period wait must drain first.)
+	for p := 0; p < 20; p++ {
+		s.Step(true, max)
+	}
+	if s.Interval() != max {
+		t.Errorf("interval after continued stability = %d, want the cap %d", s.Interval(), max)
+	}
+	s.Step(false, max)
+	for p := 0; p < StableAfter; p++ {
+		s.Step(true, max)
+	}
+	if s.Interval() != 2 {
+		t.Errorf("re-stretch after a post-consumption snap-back = %d, want the ramp's 2", s.Interval())
+	}
+}
+
+// TestResumeClampsAndDegenerates pins the edges: a hint above the cap
+// clamps to it, and hints <= 1 behave exactly like New.
+func TestResumeClampsAndDegenerates(t *testing.T) {
+	s := Resume(32)
+	for p := 0; p < StableAfter; p++ {
+		s.Step(true, 8)
+	}
+	if s.Interval() != 8 {
+		t.Errorf("over-cap resume reached %d, want clamp to 8", s.Interval())
+	}
+	for _, hint := range []int{0, 1, -3} {
+		d := Resume(hint)
+		for p := 0; p < StableAfter; p++ {
+			d.Step(true, 8)
+		}
+		if d.Interval() != 2 {
+			t.Errorf("Resume(%d) first stretch = %d, want New's 2", hint, d.Interval())
+		}
+	}
+}

@@ -222,3 +222,84 @@ func TestAdaptiveCadenceMixedCluster(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveCadenceResumesAfterRestart pins the cadence-persistence
+// satellite end to end: a node that stretched its heartbeat cadence to
+// the cap persists the per-neighbor intervals alongside its clock mark,
+// and after a crash+restart on the same stable storage its first
+// re-stretch jumps straight back to the persisted interval instead of
+// re-walking the geometric ramp (1 -> 2 -> 4 -> 8).
+func TestAdaptiveCadenceResumesAfterRestart(t *testing.T) {
+	const cadenceMax = 8
+	g, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := transport.NewFabric(transport.FabricOptions{})
+	defer func() { _ = fabric.Close() }()
+	store := &MemStorage{}
+	nodes := buildCluster(t, g, fabric, func(i int) Config {
+		c := Config{AdaptiveCadenceMax: cadenceMax}
+		if i == 0 {
+			c.Storage = store
+		}
+		return c
+	})
+
+	interval := func(nd *Node, to topology.NodeID) int {
+		nd.cadMu.Lock()
+		defer nd.cadMu.Unlock()
+		if st := nd.cad[to]; st != nil {
+			return st.Interval()
+		}
+		return 1
+	}
+
+	// Converge until node 0 holds the full stretch toward node 1 AND has
+	// persisted it (Tick persists the snapshot gathered that period, so
+	// check the storage, not just the controller).
+	persisted := func() map[topology.NodeID]int {
+		_, _, cad, _, err := store.LoadMark()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cad
+	}
+	stretched := false
+	for p := 0; p < 800 && !stretched; p++ {
+		settleTicks(nodes, 1)
+		stretched = interval(nodes[0], 1) == cadenceMax && persisted()[1] == cadenceMax
+	}
+	if !stretched {
+		t.Fatalf("node 0 never reached and persisted the full stretch: interval=%d persisted=%v",
+			interval(nodes[0], 1), persisted())
+	}
+
+	// Crash node 0 and restart it on the same endpoint and storage.
+	nodes[0].Stop()
+	restarted, err := New(Config{
+		ID: 0, NumProcs: 2, Neighbors: g.Neighbors(0),
+		Storage: store, AdaptiveCadenceMax: cadenceMax,
+	}, fabric.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Stop()
+	pair := []*Node{restarted, nodes[1]}
+
+	// The restarted node re-probes at cadence 1 (its peers ack nothing
+	// yet, so early deltas fall back to full snapshots); once node 1
+	// proves stable again the first stretch must land on cadenceMax
+	// directly — observing any intermediate ramp value is the regression.
+	for p := 0; p < 400; p++ {
+		settleTicks(pair, 1)
+		if iv := interval(restarted, 1); iv > 1 {
+			if iv != cadenceMax {
+				t.Fatalf("first re-stretch after restart reached %d (period %d), want direct resume to %d",
+					iv, p+1, cadenceMax)
+			}
+			return
+		}
+	}
+	t.Fatal("restarted node never re-stretched within 400 periods")
+}

@@ -1,0 +1,30 @@
+package node
+
+// This file is the node's machine-readable lock hierarchy: the lockorder
+// analyzer (internal/analysis/lockorder, run by cmd/adaptivelint in CI)
+// reads the directives below and fails the build when any function
+// acquires these locks out of rank order, nests two same-rank leaves, or
+// calls into the transport while holding the view lock. The prose
+// version of this hierarchy lives on the Node struct's field comments;
+// this file is the enforced version — keep the two in sync when the
+// locking story changes.
+//
+// Ranks increase inward: a goroutine holding a lock may only acquire
+// locks of strictly greater rank. memberMu is the outermost (whole
+// membership applications), planMu may take viewMu while revalidating
+// the plan cache, and everything at rank 40 is a leaf — nothing else is
+// acquired while holding it. MemStorage.mu sits below leaseMu because
+// Tick and ensureSeqLease call Storage.SaveMark while holding the lease
+// lock.
+//
+// viewMu is declared noblockingcalls: the view lock serializes every
+// heartbeat merge, so holding it across a transport send would let one
+// slow peer backpressure the whole knowledge plane (the PR 2 lock-split
+// exists to prevent exactly that).
+//
+//adaptivelint:lockrank Node.memberMu=10 Node.planMu=20 Node.viewMu=30
+//adaptivelint:lockrank Node.reannMu=40 Node.peerMu=40 Node.cadMu=40 Node.leaseMu=40
+//adaptivelint:lockrank deliveredSet.mu=40 forwardCache.mu=40
+//adaptivelint:lockrank MemStorage.mu=50
+//adaptivelint:noblockingcalls Node.viewMu
+//adaptivelint:blockingpkg adaptivecast/internal/transport

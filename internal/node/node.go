@@ -361,17 +361,25 @@ type Node struct {
 	// cadMu guards the adaptive-cadence controller state (a leaf lock
 	// taken once per Tick; nothing is called while holding it). cad[j]
 	// tracks the stretch toward neighbor j; nil when adaptive cadence is
-	// off.
-	cadMu sync.Mutex
-	cad   map[topology.NodeID]*cadence.State
+	// off. cadResume holds the per-neighbor intervals loaded from stable
+	// storage; each entry is handed to cadence.Resume the first time its
+	// neighbor is stepped, then dropped.
+	cadMu     sync.Mutex
+	cad       map[topology.NodeID]*cadence.State
+	cadResume map[topology.NodeID]int
 
 	// seqLease is the broadcast sequence floor currently persisted in
 	// stable storage: always >= any issued seq, so a crash can never lead
 	// to sequence reuse (which peers' dedup watermarks would silently
 	// censor). Broadcasts that catch up with the lease extend it
 	// synchronously under leaseMu before the new seq escapes the node.
-	seqLease atomic.Uint64
-	leaseMu  sync.Mutex
+	// cadPersist (also under leaseMu) is the cadence snapshot written
+	// alongside the mark: Tick refreshes it from the controllers, and
+	// lease extensions re-write it unchanged — ensureSeqLease must not
+	// take cadMu itself, since both are rank-40 leaves that never nest.
+	seqLease   atomic.Uint64
+	leaseMu    sync.Mutex
+	cadPersist map[topology.NodeID]int
 
 	stats counters
 
@@ -453,7 +461,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 	// watermark.
 	var resume uint64
 	if cfg.Storage != nil {
-		mark, seqFloor, ok, err := cfg.Storage.LoadMark()
+		mark, seqFloor, cadences, ok, err := cfg.Storage.LoadMark()
 		if err != nil {
 			return nil, err
 		}
@@ -464,6 +472,16 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 			}
 			resume = seqFloor
 			n.seqLease.Store(seqFloor)
+			if n.cad != nil && len(cadences) > 0 {
+				// Resume the pre-crash heartbeat stretch: each neighbor
+				// still has to prove itself stable again, but then jumps
+				// straight back to its persisted interval instead of
+				// re-walking the geometric ramp. cadPersist starts as the
+				// same map so a lease extension before the first Tick
+				// cannot clobber the stored stretch with an empty one.
+				n.cadResume = cadences
+				n.cadPersist = cloneCadences(cadences)
+			}
 		}
 	}
 	if cfg.DedupLog != nil {
@@ -662,9 +680,13 @@ func (n *Node) Tick() {
 		// the load+write pair is serialized under leaseMu against
 		// concurrent extensions from Broadcast: an unordered write here
 		// could clobber a freshly extended (and already relied-upon) lease
-		// with a stale floor.
+		// with a stale floor. The cadence snapshot rides along: gathered
+		// under cadMu first (cadMu and leaseMu are rank-40 leaves and must
+		// never nest), it is one period stale at worst.
+		cadSnap := n.cadenceSnapshot()
 		n.leaseMu.Lock()
-		_ = n.cfg.Storage.SaveMark(n.cfg.Now(), n.seqLease.Load())
+		n.cadPersist = cadSnap
+		_ = n.cfg.Storage.SaveMark(n.cfg.Now(), n.seqLease.Load(), cadSnap)
 		n.leaseMu.Unlock()
 	}
 
@@ -733,10 +755,46 @@ func (n *Node) cadenceStep(to topology.NodeID, stable bool) (declared int, due b
 	defer n.cadMu.Unlock()
 	st := n.cad[to]
 	if st == nil {
-		st = cadence.New()
+		if hint := n.cadResume[to]; hint > 1 {
+			st = cadence.Resume(hint)
+			delete(n.cadResume, to)
+		} else {
+			st = cadence.New()
+		}
 		n.cad[to] = st
 	}
 	return st.Step(stable, n.cfg.AdaptiveCadenceMax)
+}
+
+// cadenceSnapshot collects the per-neighbor intervals worth persisting:
+// the current stretch of every controller, or its unconsumed resume
+// hint when that is larger — a node that crashes again before a
+// neighbor turns stable must not lose the stretch the previous
+// incarnation had already earned. Intervals at the default 1 are
+// omitted; nil when adaptive cadence is off.
+func (n *Node) cadenceSnapshot() map[topology.NodeID]int {
+	if n.cad == nil {
+		return nil
+	}
+	n.cadMu.Lock()
+	defer n.cadMu.Unlock()
+	var snap map[topology.NodeID]int
+	record := func(id topology.NodeID, iv int) {
+		if iv > 1 && iv > snap[id] {
+			if snap == nil {
+				snap = make(map[topology.NodeID]int, len(n.cad))
+			}
+			snap[id] = iv
+		}
+	}
+	for id, st := range n.cad {
+		record(id, st.Interval())
+		record(id, st.Hint())
+	}
+	for id, hint := range n.cadResume {
+		record(id, hint)
+	}
+	return snap
 }
 
 // Broadcast initiates a reliable broadcast (Algorithm 1). It returns the
@@ -804,7 +862,7 @@ func (n *Node) ensureSeqLease(seq uint64) {
 		return // another broadcast extended the lease meanwhile
 	}
 	lease := seq + seqLeaseBatch
-	if err := n.cfg.Storage.SaveMark(n.cfg.Now(), lease); err != nil {
+	if err := n.cfg.Storage.SaveMark(n.cfg.Now(), lease, n.cadPersist); err != nil {
 		n.stats.logErrors.Add(1)
 		return
 	}

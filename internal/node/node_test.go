@@ -302,14 +302,15 @@ func TestCrashRecoveryViaStableStorage(t *testing.T) {
 func TestFileStorage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "mark")
 	fs := NewFileStorage(path)
-	if _, _, ok, err := fs.LoadMark(); err != nil || ok {
+	if _, _, _, ok, err := fs.LoadMark(); err != nil || ok {
 		t.Fatalf("empty storage: ok=%v err=%v", ok, err)
 	}
 	want := time.Unix(123456, 789)
-	if err := fs.SaveMark(want, 42); err != nil {
+	wantCad := map[topology.NodeID]int{1: 8, 3: 2}
+	if err := fs.SaveMark(want, 42, wantCad); err != nil {
 		t.Fatal(err)
 	}
-	got, seq, ok, err := fs.LoadMark()
+	got, seq, cad, ok, err := fs.LoadMark()
 	if err != nil || !ok {
 		t.Fatalf("load: ok=%v err=%v", ok, err)
 	}
@@ -318,6 +319,9 @@ func TestFileStorage(t *testing.T) {
 	}
 	if seq != 42 {
 		t.Errorf("seq floor = %d, want 42", seq)
+	}
+	if len(cad) != 2 || cad[1] != 8 || cad[3] != 2 {
+		t.Errorf("cadences = %v, want %v", cad, wantCad)
 	}
 }
 
@@ -328,12 +332,28 @@ func TestFileStorageLegacyFormat(t *testing.T) {
 	if err := writeLegacyMark(path, time.Unix(99, 0)); err != nil {
 		t.Fatal(err)
 	}
-	got, seq, ok, err := NewFileStorage(path).LoadMark()
+	got, seq, cad, ok, err := NewFileStorage(path).LoadMark()
 	if err != nil || !ok {
 		t.Fatalf("legacy load: ok=%v err=%v", ok, err)
 	}
-	if !got.Equal(time.Unix(99, 0)) || seq != 0 {
-		t.Errorf("legacy mark = (%v, %d), want (%v, 0)", got, seq, time.Unix(99, 0))
+	if !got.Equal(time.Unix(99, 0)) || seq != 0 || cad != nil {
+		t.Errorf("legacy mark = (%v, %d, %v), want (%v, 0, nil)", got, seq, cad, time.Unix(99, 0))
+	}
+}
+
+// TestFileStorageTwoFieldFormat keeps pre-cadence mark files loadable: a
+// file holding timestamp and floor reads back with no cadence hints.
+func TestFileStorageTwoFieldFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mark")
+	if err := os.WriteFile(path, []byte("99000000000 17\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, cad, ok, err := NewFileStorage(path).LoadMark()
+	if err != nil || !ok {
+		t.Fatalf("two-field load: ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(time.Unix(99, 0)) || seq != 17 || cad != nil {
+		t.Errorf("two-field mark = (%v, %d, %v), want (%v, 17, nil)", got, seq, cad, time.Unix(99, 0))
 	}
 }
 

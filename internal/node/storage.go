@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"adaptivecast/internal/topology"
 )
 
 // StableStorage persists the small per-node crash-recovery record: the
@@ -14,21 +16,35 @@ import (
 // probability (Section 4.1) — the process writes the current time every
 // period and, after a crash, compares the last mark with the clock to
 // count the missed intervals (Event 4) — plus the broadcast sequence
-// floor. The floor is the highest sequence number this incarnation may
-// have issued; a restarted node resumes its sequencer above it, because
+// floor and the last stable heartbeat cadence toward each neighbor.
+//
+// The floor is the highest sequence number this incarnation may have
+// issued; a restarted node resumes its sequencer above it, because
 // re-issuing pre-crash sequence numbers would make every live peer's
 // dedup watermark silently suppress the recovered node's broadcasts
 // forever. The floor is maintained as a lease (see Node.ensureSeqLease):
 // it is bumped in batches ahead of the issued sequence, so the sequencer
 // can crash at any instant and still resume safely without a durable
 // write per broadcast.
+//
+// The cadence map records, per neighbor, the adaptive heartbeat
+// interval (in periods) the node had stretched to before the crash.
+// It is a hint, not an invariant: a restarted node must still re-probe
+// stability, but once a neighbor proves stable again the controller
+// resumes the persisted stretch directly instead of re-walking the
+// geometric ramp (see internal/cadence.Resume). Entries at the default
+// interval 1 are omitted.
 type StableStorage interface {
-	// SaveMark records the latest alive-timestamp and the broadcast
-	// sequence floor (0 when the node never broadcast).
-	SaveMark(t time.Time, seqFloor uint64) error
-	// LoadMark returns the last recorded timestamp and sequence floor;
-	// ok is false when nothing was ever recorded.
-	LoadMark() (t time.Time, seqFloor uint64, ok bool, err error)
+	// SaveMark records the latest alive-timestamp, the broadcast
+	// sequence floor (0 when the node never broadcast), and the current
+	// stable cadence intervals (nil or empty when cadence is off or
+	// fully snapped back).
+	SaveMark(t time.Time, seqFloor uint64, cadences map[topology.NodeID]int) error
+	// LoadMark returns the last recorded timestamp, sequence floor and
+	// cadence intervals; ok is false when nothing was ever recorded.
+	// Records written by older versions load with a zero floor and/or
+	// nil cadences.
+	LoadMark() (t time.Time, seqFloor uint64, cadences map[topology.NodeID]int, ok bool, err error)
 }
 
 // MemStorage is an in-memory StableStorage for tests and simulations of
@@ -37,24 +53,38 @@ type MemStorage struct {
 	mu   sync.Mutex
 	mark time.Time
 	seq  uint64
+	cad  map[topology.NodeID]int
 	set  bool
 }
 
 var _ StableStorage = (*MemStorage)(nil)
 
 // SaveMark implements StableStorage.
-func (m *MemStorage) SaveMark(t time.Time, seqFloor uint64) error {
+func (m *MemStorage) SaveMark(t time.Time, seqFloor uint64, cadences map[topology.NodeID]int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.mark, m.seq, m.set = t, seqFloor, true
+	m.mark, m.seq, m.cad, m.set = t, seqFloor, cloneCadences(cadences), true
 	return nil
 }
 
 // LoadMark implements StableStorage.
-func (m *MemStorage) LoadMark() (time.Time, uint64, bool, error) {
+func (m *MemStorage) LoadMark() (time.Time, uint64, map[topology.NodeID]int, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.mark, m.seq, m.set, nil
+	return m.mark, m.seq, cloneCadences(m.cad), m.set, nil
+}
+
+// cloneCadences copies a cadence map so storage and callers never share
+// one (nil and empty stay nil).
+func cloneCadences(in map[topology.NodeID]int) map[topology.NodeID]int {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[topology.NodeID]int, len(in))
+	for id, iv := range in {
+		out[id] = iv
+	}
+	return out
 }
 
 // FileStorage persists the mark in a small text file — the minimal stable
@@ -68,12 +98,24 @@ var _ StableStorage = (*FileStorage)(nil)
 // NewFileStorage returns storage backed by the given path.
 func NewFileStorage(path string) *FileStorage { return &FileStorage{path: path} }
 
-// SaveMark implements StableStorage: an atomic write of the timestamp in
-// nanoseconds followed by the sequence floor.
-func (f *FileStorage) SaveMark(t time.Time, seqFloor uint64) error {
+// SaveMark implements StableStorage: an atomic write of one line — the
+// timestamp in nanoseconds, the sequence floor, then one id:interval
+// pair per stretched neighbor. Older readers split on whitespace and
+// ignore trailing fields, so the format stays backward compatible.
+func (f *FileStorage) SaveMark(t time.Time, seqFloor uint64, cadences map[topology.NodeID]int) error {
 	tmp := f.path + ".tmp"
-	data := strconv.FormatInt(t.UnixNano(), 10) + " " + strconv.FormatUint(seqFloor, 10) + "\n"
-	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(t.UnixNano(), 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(seqFloor, 10))
+	for _, id := range sortedCadenceIDs(cadences) {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(int(id)))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(cadences[id]))
+	}
+	b.WriteByte('\n')
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
 		return fmt.Errorf("node: storage write: %w", err)
 	}
 	if err := os.Rename(tmp, f.path); err != nil {
@@ -82,29 +124,70 @@ func (f *FileStorage) SaveMark(t time.Time, seqFloor uint64) error {
 	return nil
 }
 
+// sortedCadenceIDs orders the map for a deterministic file layout.
+func sortedCadenceIDs(cadences map[topology.NodeID]int) []topology.NodeID {
+	ids := make([]topology.NodeID, 0, len(cadences))
+	for id := range cadences {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
 // LoadMark implements StableStorage. Files written before the sequence
-// floor existed hold just the timestamp; they load with floor 0.
-func (f *FileStorage) LoadMark() (time.Time, uint64, bool, error) {
+// floor existed hold just the timestamp; files written before cadence
+// persistence hold two fields; both load with zero values for the
+// missing parts.
+func (f *FileStorage) LoadMark() (time.Time, uint64, map[topology.NodeID]int, bool, error) {
 	data, err := os.ReadFile(f.path)
 	if os.IsNotExist(err) {
-		return time.Time{}, 0, false, nil
+		return time.Time{}, 0, nil, false, nil
 	}
 	if err != nil {
-		return time.Time{}, 0, false, fmt.Errorf("node: storage read: %w", err)
+		return time.Time{}, 0, nil, false, fmt.Errorf("node: storage read: %w", err)
 	}
 	fields := strings.Fields(string(data))
 	if len(fields) == 0 {
-		return time.Time{}, 0, false, fmt.Errorf("node: storage parse: empty mark file")
+		return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: empty mark file")
 	}
 	ns, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return time.Time{}, 0, false, fmt.Errorf("node: storage parse: %w", err)
+		return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: %w", err)
 	}
 	var seq uint64
 	if len(fields) > 1 {
 		if seq, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
-			return time.Time{}, 0, false, fmt.Errorf("node: storage parse: %w", err)
+			return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: %w", err)
 		}
 	}
-	return time.Unix(0, ns), seq, true, nil
+	var cadences map[topology.NodeID]int
+	var pairs []string
+	if len(fields) > 2 {
+		pairs = fields[2:]
+	}
+	for _, pair := range pairs {
+		idStr, ivStr, ok := strings.Cut(pair, ":")
+		if !ok {
+			return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: malformed cadence pair %q", pair)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: %w", err)
+		}
+		iv, err := strconv.Atoi(ivStr)
+		if err != nil {
+			return time.Time{}, 0, nil, false, fmt.Errorf("node: storage parse: %w", err)
+		}
+		if iv > 1 {
+			if cadences == nil {
+				cadences = make(map[topology.NodeID]int)
+			}
+			cadences[topology.NodeID(id)] = iv
+		}
+	}
+	return time.Unix(0, ns), seq, cadences, true, nil
 }

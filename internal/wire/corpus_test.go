@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -38,4 +40,66 @@ func TestWriteSeedCorpus(t *testing.T) {
 	if len(entries) == 0 {
 		t.Fatal("seed corpus directory is empty")
 	}
+	// Every committed seed must still decode, and together the seeds must
+	// witness every (version, kind) header the canonical frames produce.
+	// The wirekind analyzer audits the declared FrameKind×version pairs
+	// against this same corpus; this gate keeps the corpus itself honest,
+	// so neither side can rot without a red build.
+	want := make(map[[2]byte]bool)
+	for _, frame := range seedFrames(t) {
+		b, err := Encode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[[2]byte{b[1], b[2]}] = true
+	}
+	got := make(map[[2]byte]bool)
+	for _, e := range entries {
+		name := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, ok := corpusBytes(string(data))
+		if !ok {
+			t.Errorf("%s: not a parseable go-fuzz corpus file", name)
+			continue
+		}
+		if _, err := Decode(b); err != nil {
+			t.Errorf("%s: committed seed no longer decodes: %v", name, err)
+			continue
+		}
+		if len(b) >= 3 {
+			got[[2]byte{b[1], b[2]}] = true
+		}
+	}
+	for hdr := range want {
+		if !got[hdr] {
+			t.Errorf("no committed seed covers version %d kind %d (regenerate with WIRE_WRITE_CORPUS=1)", hdr[0], hdr[1])
+		}
+	}
+}
+
+// corpusBytes extracts the []byte value from a go-fuzz corpus file.
+func corpusBytes(content string) ([]byte, bool) {
+	lines := strings.Split(content, "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, false
+	}
+	for _, line := range lines[1:] {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "[]byte(")
+		if !ok {
+			continue
+		}
+		lit, ok := strings.CutSuffix(rest, ")")
+		if !ok {
+			continue
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, false
+		}
+		return []byte(s), true
+	}
+	return nil, false
 }

@@ -31,18 +31,25 @@ import (
 // FrameKind discriminates frame payloads.
 type FrameKind uint8
 
-// Frame kinds.
+// Frame kinds. The wirekind analyzer (run by cmd/adaptivelint in CI)
+// reads the annotations: each constant declares the wire versions it may
+// ride, every declared kind×version pair must be witnessed by a
+// committed FuzzDecode corpus seed, and every switch over a FrameKind
+// must stay exhaustive — so a new kind cannot ship without fuzz coverage
+// and codec/dispatch cases.
+//
+//adaptivelint:wirecorpus dir=testdata/fuzz/FuzzDecode magic=0xAC
 const (
-	FrameHeartbeat FrameKind = iota + 1
-	FrameData
-	FrameKnowledgeDelta
+	FrameHeartbeat      FrameKind = iota + 1 //adaptivelint:wirekind versions=1
+	FrameData                                //adaptivelint:wirekind versions=1,3
+	FrameKnowledgeDelta                      //adaptivelint:wirekind versions=1,2,3
 	// FrameJoin announces a membership epoch change that added a process;
 	// FrameLeave one that removed a process. Both carry a Membership
 	// payload and always encode as wire version 3. Receivers flood them so
 	// every member converges on the new epoch; the epoch number itself
 	// dedups the flood.
-	FrameJoin
-	FrameLeave
+	FrameJoin  //adaptivelint:wirekind versions=3
+	FrameLeave //adaptivelint:wirekind versions=3
 )
 
 // Membership is the payload of FrameJoin and FrameLeave: a complete

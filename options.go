@@ -12,6 +12,10 @@ import (
 // estimate a process's own crash probability (Section 4.1): the process
 // writes the current time every heartbeat period; after a crash it
 // compares the last mark with the clock to count the missed intervals.
+// The broadcast sequence floor and the last stable adaptive-cadence
+// intervals ride along on the same record, so a restarted node neither
+// reuses sequence numbers nor re-learns its heartbeat stretch from
+// scratch.
 type StableStorage = node.StableStorage
 
 // MemStorage is an in-memory StableStorage for tests and single-process
@@ -97,7 +101,10 @@ func WithPiggyback() Option {
 // WithStableStorage enables the crash-recovery clock-mark protocol: the
 // node marks the given storage every heartbeat period, and a restarted
 // node books the downtime since the last mark as missed ticks, degrading
-// its own crash estimate accordingly.
+// its own crash estimate accordingly. When adaptive cadence is also on,
+// the per-neighbor heartbeat stretch persists alongside the mark and a
+// restarted node resumes it as soon as each neighbor proves stable
+// again, instead of re-walking the geometric ramp.
 func WithStableStorage(s StableStorage) Option {
 	return func(c *nodeConfig) { c.inner.Storage = s }
 }
