@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench-smoke
+.PHONY: all build test race lint fmt bench bench-smoke
 
 all: build test lint
 
@@ -32,3 +32,17 @@ lint:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench runs the send-path benchmarks (sustained broadcast, pipelined
+# forward, control latency, plus the steady-state heartbeat/forward
+# datapath numbers they sit next to) and writes the machine-readable
+# results to BENCH_broadcast.json so perf regressions are diffable
+# across PRs. CI regenerates and uploads the same file.
+BENCH_PATTERN = BenchmarkBroadcastSustained|BenchmarkForwardPipelined|BenchmarkControlLatencyUnderLoad|BenchmarkBroadcast$$|BenchmarkHeartbeatSteadyState|BenchmarkForwardFanout
+bench:
+	@$(GO) test -bench='$(BENCH_PATTERN)' -benchtime=2000x -run='^$$' . > bench-broadcast.txt; \
+		status=$$?; cat bench-broadcast.txt; \
+		if [ $$status -ne 0 ]; then rm -f bench-broadcast.txt; exit $$status; fi
+	$(GO) run ./cmd/benchjson -o BENCH_broadcast.json < bench-broadcast.txt
+	@rm -f bench-broadcast.txt
+	@echo "wrote BENCH_broadcast.json"

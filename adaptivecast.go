@@ -67,6 +67,9 @@ type (
 	Delivery = node.Delivery
 	// NodeStats are per-node protocol counters.
 	NodeStats = node.Stats
+	// LaneDrops counts outbound frames shed per lane by the optional
+	// lane scheduler (NodeStats.LaneDrops; see WithLaneScheduler).
+	LaneDrops = node.LaneDrops
 )
 
 // DefaultK is the paper's reliability target: deliver to all processes

@@ -6,6 +6,9 @@ package adaptivecast_test
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,6 +19,7 @@ import (
 	"adaptivecast/internal/experiments"
 	"adaptivecast/internal/gossip"
 	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/lanes"
 	"adaptivecast/internal/mrt"
 	"adaptivecast/internal/node"
 	"adaptivecast/internal/optimize"
@@ -458,17 +462,36 @@ func BenchmarkWireEncodeDataGob(b *testing.B) {
 // and plans a real MRT (no warm-up flood). It is the fixture for the
 // broadcast-throughput benchmarks.
 func benchConvergedCluster(b *testing.B, n, conn int, disableCache bool) *adaptivecast.Cluster {
+	return benchConvergedClusterCfg(b, n, conn, func(cfg *adaptivecast.ClusterConfig) {
+		cfg.DisablePlanCache = disableCache
+	})
+}
+
+// benchConvergedClusterCfg is benchConvergedCluster with a config hook,
+// so send-path benchmarks can toggle the lane scheduler on the same
+// converged fixture.
+func benchConvergedClusterCfg(b *testing.B, n, conn int, mutate func(*adaptivecast.ClusterConfig)) *adaptivecast.Cluster {
 	b.Helper()
 	rng := rand.New(rand.NewSource(23))
 	g, err := adaptivecast.RandomConnected(n, conn, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := adaptivecast.NewCluster(adaptivecast.ClusterConfig{
-		Topology:         g,
-		DeliveryBuffer:   8,
-		DisablePlanCache: disableCache,
-	})
+	return benchConvergeGraph(b, g, mutate)
+}
+
+// benchConvergeGraph builds a cluster over an explicit graph and runs it
+// to a plannable view (see benchConvergedCluster).
+func benchConvergeGraph(b *testing.B, g *adaptivecast.Topology, mutate func(*adaptivecast.ClusterConfig)) *adaptivecast.Cluster {
+	b.Helper()
+	cfg := adaptivecast.ClusterConfig{
+		Topology:       g,
+		DeliveryBuffer: 8,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := adaptivecast.NewCluster(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -835,5 +858,297 @@ func BenchmarkEpochRebuild(b *testing.B) {
 		if _, err := c.AddNode(adaptivecast.NodeID(i%8), adaptivecast.NodeID((i+3)%8)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined send-path benchmarks (lane scheduler, coalescing, zero-alloc
+// encode). BenchmarkBroadcastSustained is the PR's acceptance number:
+// sustained data throughput with the scheduler on must be >= 2x the
+// direct path at saturation. make bench records the results in
+// BENCH_broadcast.json.
+// ---------------------------------------------------------------------------
+
+// BenchmarkBroadcastSustained measures sustained broadcast throughput
+// from the hub of a converged 32-node star: every broadcast fans out to
+// all 31 peers directly, so the whole cost lands on (and is drained
+// from) node 0's send path in both modes — no relay work escapes the
+// timer asymmetrically. Each transport flush pays a syscall-sized
+// simulated kernel copy (ClusterConfig.SendCost); on a free transport
+// there is no saturation to pipeline past and the benchmark would only
+// measure queue overhead. Sub-benchmarks compare the synchronous direct
+// path against the lane scheduler (and the scheduler with a small
+// aggregation window). The lane queue is deep enough that nothing is
+// shed — queued work still has to drain inside the timed region
+// (WaitSendIdle), so the comparison counts transport work actually
+// done, not promises queued.
+func BenchmarkBroadcastSustained(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		lanes  bool
+		window time.Duration
+	}{
+		{"direct", false, 0},
+		{"lanes", true, 0},
+		{"lanes-window", true, 200 * time.Microsecond},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			g, err := adaptivecast.Star(32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := benchConvergeGraph(b, g, func(cfg *adaptivecast.ClusterConfig) {
+				cfg.LaneScheduler = mode.lanes
+				cfg.LaneQueueDepth = 1 << 15
+				cfg.AggregationWindow = mode.window
+				cfg.SendCost = 32 << 10
+			})
+			body := []byte("sustained broadcast payload 0123456789abcdef0123456789abcdef")
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, err := c.Broadcast(0, body); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if mode.lanes && !c.Node(0).WaitSendIdle(30*time.Second) {
+				b.Fatal("lanes did not drain")
+			}
+			b.StopTimer()
+			st := c.Stats(0)
+			if d := st.LaneDrops; d != (adaptivecast.LaneDrops{}) {
+				b.Fatalf("lane drops %+v at depth 2^15 — throughput number would count shed frames", d)
+			}
+			b.ReportMetric(float64(st.CoalescedFrames)/float64(b.N), "coalesced/op")
+		})
+	}
+}
+
+// pipeFlushBytes is the fixed per-flush cost pipeSink charges: every
+// transport call copies this much on top of the frames themselves,
+// standing in for the kernel socket-buffer copy of a write(2). Without
+// a realistic per-call cost there is nothing for the per-peer drain
+// goroutines to overlap and the benchmark would only measure queueing
+// overhead.
+const pipeFlushBytes = 32 << 10
+
+// pipeSink is the pipelined-forward benchmark's outbound side: a
+// transport with per-peer write buffers behind per-peer locks (the shape
+// of a TCP transport's connection buffers). Each transport call pays one
+// pipeFlushBytes copy under the peer's lock — cost the lane scheduler's
+// per-peer drains can run in parallel and its multi-frame flushes can
+// amortize, while the synchronous forwarder pays it serially on the
+// handler goroutine.
+type pipeSink struct {
+	id      topology.NodeID
+	handler transport.Handler
+	kernel  []byte
+	peers   [64]struct {
+		mu      sync.Mutex
+		scratch []byte
+	}
+	sends atomic.Int64
+}
+
+func newPipeSink(id topology.NodeID) *pipeSink {
+	return &pipeSink{id: id, kernel: make([]byte, pipeFlushBytes)}
+}
+
+func (s *pipeSink) Local() topology.NodeID         { return s.id }
+func (s *pipeSink) SetHandler(h transport.Handler) { s.handler = h }
+func (s *pipeSink) Close() error                   { return nil }
+
+// flush models one syscall: a fixed kernel copy plus the frame bytes.
+func (s *pipeSink) flush(to topology.NodeID, copies int, frames ...[]byte) error {
+	p := &s.peers[to]
+	p.mu.Lock()
+	p.scratch = append(p.scratch[:0], s.kernel...)
+	for _, f := range frames {
+		p.scratch = append(p.scratch, f...)
+	}
+	p.mu.Unlock()
+	s.sends.Add(int64(copies))
+	return nil
+}
+
+func (s *pipeSink) Send(to topology.NodeID, frame []byte) error {
+	return s.flush(to, 1, frame)
+}
+
+func (s *pipeSink) SendN(to topology.NodeID, frame []byte, n int) error {
+	return s.flush(to, n, frame)
+}
+
+func (s *pipeSink) SendFrames(to topology.NodeID, batch []transport.FrameBatch) error {
+	frames := make([][]byte, 0, len(batch))
+	total := 0
+	for _, e := range batch {
+		if e.Copies <= 0 {
+			continue
+		}
+		frames = append(frames, e.Frame)
+		total += e.Copies
+	}
+	return s.flush(to, total, frames...)
+}
+
+// BenchmarkForwardPipelined measures the interior-forwarder hot path
+// (decode, cached tree fetch, 60-copy fan-out to 30 children) with the
+// outbound work done synchronously on the handler (direct) versus
+// pipelined through the per-peer lane drains (lanes).
+func BenchmarkForwardPipelined(b *testing.B) {
+	const procs = 32
+	parents := make([]topology.NodeID, procs)
+	alloc := make([]int32, procs)
+	parents[0] = topology.None
+	parents[1] = 0
+	alloc[1] = 1
+	for i := 2; i < procs; i++ {
+		parents[i] = 1
+		alloc[i] = 2
+	}
+
+	for _, mode := range []struct {
+		name  string
+		lanes bool
+	}{{"direct", false}, {"lanes", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sink := newPipeSink(1)
+			nd, err := node.New(node.Config{
+				ID:             1,
+				NumProcs:       procs,
+				Neighbors:      []topology.NodeID{0},
+				LaneScheduler:  mode.lanes,
+				LaneQueueDepth: 1 << 15,
+				DeliveryBuffer: 1, // deliveries overflow silently; not under test
+			}, sink)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer nd.Stop()
+			body := []byte("fanout payload 0123456789abcdef")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: &wire.DataMsg{
+					Origin:      0,
+					Seq:         uint64(i + 1),
+					Root:        0,
+					Parents:     parents,
+					AllocByNode: alloc,
+					Body:        body,
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink.handler(0, frame)
+			}
+			if mode.lanes && !nd.WaitSendIdle(30*time.Second) {
+				b.Fatal("lanes did not drain")
+			}
+			b.StopTimer()
+			if want := int64(b.N) * 60; sink.sends.Load() != want {
+				b.Fatalf("forwarded %d copies, want %d", sink.sends.Load(), want)
+			}
+		})
+	}
+}
+
+// BenchmarkControlLatencyUnderLoad measures control-frame *delivery*
+// latency — scheduler enqueue to receiver handler, over a fabric link
+// with realistic latency and per-flush send cost — idle versus with the
+// data lane saturated by a background enqueuer. The lane scheduler's
+// acceptance bar is that this stays flat (<= 1.2x the idle baseline):
+// control preempts queued data at every drain round and the aggregation
+// window never holds it, so a saturated datapath adds at most one
+// in-flight data flush of delay — noise against the link latency.
+func BenchmarkControlLatencyUnderLoad(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		saturate bool
+	}{{"idle", false}, {"saturated", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			// The heavy SendCost (vs the sustained benchmark's 32K) keeps
+			// the drain inside SendFrames — where it holds no lock — for
+			// most of its cycle, so the saturator below can always build
+			// the data queue past its depth instead of ping-ponging with
+			// collect() on the peer mutex.
+			f := transport.NewFabric(transport.FabricOptions{
+				Latency:   200 * time.Microsecond,
+				SendCost:  256 << 10,
+				QueueSize: 1 << 16, // don't let receiver overflow eat the probe
+			})
+			defer func() { _ = f.Close() }()
+			sender := f.Endpoint(0)
+			receiver := f.Endpoint(1)
+			delivered := make(chan struct{}, 1)
+			receiver.SetHandler(func(from topology.NodeID, frame []byte) {
+				if len(frame) == 1 && frame[0] == 0xC0 {
+					delivered <- struct{}{}
+				}
+			})
+			s := lanes.New(sender, lanes.Config{QueueDepth: 256, Window: 200 * time.Microsecond})
+			defer func() { _ = s.Close() }()
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if mode.saturate {
+				data := make([]byte, 256)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Burst until the lane sheds, then yield: every cycle
+						// provably pins the data lane at its depth (the shed
+						// is the point). Gosched rather than Sleep — sleep
+						// granularity on a single-core box is ~1ms, long
+						// enough for the drain to empty the queue entirely
+						// between bursts, which would leave the lane idle for
+						// most of each measured op. The iteration cap keeps a
+						// stuck drain from turning this into a spin lock.
+						base := s.Stats().Drops.Data
+						for j := 0; j < 4096 && s.Stats().Drops.Data == base; j++ {
+							if err := s.Enqueue(1, lanes.Data, data, 2, nil); err != nil {
+								return
+							}
+						}
+						runtime.Gosched()
+					}
+				}()
+				// Pin the lane before the timed region. The benchmark
+				// runner's b.N=1 probe run is a single ~1ms op — too short
+				// for the background enqueuer to provably reach the shed
+				// watermark on its own — and a b.Fatal there kills the
+				// whole sub-benchmark before the real run starts.
+				for i := 0; s.Stats().Drops.Data == 0; i++ {
+					if i > 1<<20 {
+						b.Fatal("could not saturate the data lane")
+					}
+					if err := s.Enqueue(1, lanes.Data, data, 2, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			ctl := []byte{0xC0}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Enqueue(1, lanes.Control, ctl, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+				<-delivered
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if mode.saturate && s.Stats().Drops.Data == 0 {
+				b.Fatal("no data shed: the lane never saturated, so the latency number proves nothing")
+			}
+		})
 	}
 }

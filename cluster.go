@@ -23,6 +23,10 @@ type ClusterConfig struct {
 	LinkLoss map[Link]float64
 	// Seed drives the fabric's loss sampling (default 1).
 	Seed int64
+	// SendCost charges every node's transport flushes a simulated
+	// per-call kernel copy of this many bytes (see FabricOptions.SendCost;
+	// default 0, free). Mainly for saturation benchmarks.
+	SendCost int
 	// DeliveryBuffer sizes each node's delivery channel (default 128).
 	DeliveryBuffer int
 	// BayesIntervals is U, the estimator precision (default 100, the
@@ -43,6 +47,16 @@ type ClusterConfig struct {
 	// HeartbeatEvery on any change (see WithAdaptiveCadence). Requires
 	// delta heartbeats (i.e. DisableDeltaHeartbeats unset).
 	AdaptiveCadence time.Duration
+	// LaneScheduler routes every node's outbound frames through the
+	// prioritized per-peer lane scheduler (see WithLaneScheduler).
+	LaneScheduler bool
+	// LaneQueueDepth bounds each peer's data lane when LaneScheduler is
+	// set (see WithLaneQueueDepth; default 256).
+	LaneQueueDepth int
+	// AggregationWindow coalesces same-peer data frames queued within
+	// this window into one transport flush when LaneScheduler is set
+	// (see WithAggregationWindow; default 0, flush immediately).
+	AggregationWindow time.Duration
 }
 
 // Cluster is a thin convenience layer over Node: one node per process of
@@ -74,7 +88,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if !cfg.Topology.Connected() {
 		return nil, errors.New("adaptivecast: topology must be connected")
 	}
-	fabric := NewFabric(FabricOptions{Seed: cfg.Seed})
+	fabric := NewFabric(FabricOptions{Seed: cfg.Seed, SendCost: cfg.SendCost})
 	for l, p := range cfg.LinkLoss {
 		if !cfg.Topology.HasLink(l.A, l.B) {
 			_ = fabric.Close()
@@ -120,6 +134,15 @@ func (c *Cluster) nodeOptions() []Option {
 	}
 	if cfg.AdaptiveCadence > 0 {
 		opts = append(opts, WithAdaptiveCadence(cfg.AdaptiveCadence))
+	}
+	if cfg.LaneScheduler {
+		opts = append(opts, WithLaneScheduler())
+		if cfg.LaneQueueDepth > 0 {
+			opts = append(opts, WithLaneQueueDepth(cfg.LaneQueueDepth))
+		}
+		if cfg.AggregationWindow > 0 {
+			opts = append(opts, WithAggregationWindow(cfg.AggregationWindow))
+		}
 	}
 	return opts
 }

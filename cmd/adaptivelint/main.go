@@ -4,7 +4,7 @@
 //
 //	go run ./cmd/adaptivelint ./...
 //
-// It applies four analyzers, each machine-enforcing an invariant earlier
+// It applies five analyzers, each machine-enforcing an invariant earlier
 // PRs could only state in prose:
 //
 //	atomicfields     — atomic-designated struct fields are only touched
@@ -15,6 +15,8 @@
 //	wirekind         — every FrameKind×wire-version pair has a fuzz seed,
 //	                   FrameKind switches stay exhaustive, and varint-sized
 //	                   allocations are clamped
+//	epochfence       — dispatch cases for epoch-bearing frame kinds call
+//	                   the epoch gate before merging any frame state
 //	internalboundary — only the sanctioned facades import internal/
 //
 // Exit status is 1 when any finding survives (suppressions need an
@@ -29,6 +31,7 @@ import (
 
 	"adaptivecast/internal/analysis"
 	"adaptivecast/internal/analysis/atomicfields"
+	"adaptivecast/internal/analysis/epochfence"
 	"adaptivecast/internal/analysis/internalboundary"
 	"adaptivecast/internal/analysis/lockorder"
 	"adaptivecast/internal/analysis/wirekind"
@@ -46,6 +49,7 @@ func main() {
 		atomicfields.Analyzer,
 		lockorder.Analyzer,
 		wirekind.Analyzer,
+		epochfence.Analyzer,
 		internalboundary.Analyzer,
 	}
 	if *list {

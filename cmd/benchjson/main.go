@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be committed
+// (BENCH_broadcast.json), uploaded from CI, and diffed across PRs
+// instead of eyeballed in logs.
+//
+// Usage:
+//
+//	go test -bench=... -run='^$' . | go run ./cmd/benchjson -o BENCH_broadcast.json
+//
+// Every benchmark result line ("BenchmarkName-8  1000  123 ns/op  4.5
+// extra/op") becomes one entry; repeated names (from -count) are kept as
+// separate entries so variance stays visible. The goos/goarch/pkg/cpu
+// header lines are carried into the document.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole document.
+type Doc struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		r, err := parseResult(line)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", line, err)
+		}
+		r.Pkg = pkg
+		doc.Benchmarks = append(doc.Benchmarks, r)
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses "BenchmarkName[-P] runs {value unit}...".
+func parseResult(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("too few fields")
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad run count %q", fields[1])
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("unpaired value/unit fields")
+	}
+	r := Result{Name: name, Runs: runs, Metrics: make(map[string]float64, len(rest)/2)}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad value %q", rest[i])
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, nil
+}

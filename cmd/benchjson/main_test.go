@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: adaptivecast
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBroadcastSustained/direct         	    5000	    791123 ns/op	         0 coalesced/op
+BenchmarkBroadcastSustained/lanes-8        	    5000	    399948 ns/op	        31.00 coalesced/op
+PASS
+ok  	adaptivecast	7.182s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkBroadcastSustained/direct" || first.Runs != 5000 || first.Pkg != "adaptivecast" {
+		t.Fatalf("first = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 791123 || first.Metrics["coalesced/op"] != 0 {
+		t.Fatalf("first metrics = %+v", first.Metrics)
+	}
+	// The -GOMAXPROCS suffix is stripped, but sub-benchmark names keep
+	// their dashes.
+	second := doc.Benchmarks[1]
+	if second.Name != "BenchmarkBroadcastSustained/lanes" {
+		t.Fatalf("second name = %q", second.Name)
+	}
+	if second.Metrics["coalesced/op"] != 31 {
+		t.Fatalf("second metrics = %+v", second.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX abc",
+		"BenchmarkX 100 12.5",
+		"BenchmarkX 100 nope ns/op",
+	} {
+		if _, err := parse(bufio.NewScanner(strings.NewReader(line))); err == nil {
+			t.Errorf("parse(%q) accepted malformed input", line)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package epochfence enforces the membership-epoch fencing discipline
+// on frame dispatch: in a package that declares the directive
+//
+//	//adaptivelint:epochfence kinds=FrameData,FrameKnowledgeDelta gate=epochGate
+//
+// every switch over a FrameKind-typed value must, in each case clause
+// handling one of the listed kinds, contain a call to the named gate
+// function before (anywhere within the clause — the check is syntactic)
+// the handler merges the frame's knowledge. Epoch-bearing frames from a
+// stale membership epoch carry trees, version bookkeeping and roster
+// assumptions that belong to a dead view; a handler that forgets the
+// gate silently corrupts the knowledge plane, and nothing at runtime
+// notices until a removed member's estimates reappear. The rule
+// previously lived in reviewer memory; this analyzer is the enforced
+// version.
+//
+// The directive is per-package (adaptivelint passes see only their own
+// package's directives): the node's dispatch declares it in
+// internal/node, and packages without the directive — the wire codec's
+// own encode/decode switches, say — are untouched.
+package epochfence
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"adaptivecast/internal/analysis"
+)
+
+// kindTypeName is the named type whose switches are audited, shared
+// with the wirekind analyzer's exhaustiveness rule.
+const kindTypeName = "FrameKind"
+
+// Analyzer enforces epoch gating in FrameKind dispatch switches.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochfence",
+	Doc:  "every dispatch case for an epoch-bearing frame kind must call the epoch gate before processing the frame",
+	Run:  run,
+}
+
+// config is one parsed epochfence directive.
+type config struct {
+	kinds map[string]bool // constant names whose handlers must gate
+	gate  string          // function/method name that performs the fencing
+	pos   token.Pos
+}
+
+// parseDirective finds the package's epochfence directive, if any.
+func parseDirective(pass *analysis.Pass) (*config, error) {
+	for _, d := range pass.Directives() {
+		if d.Verb != "epochfence" {
+			continue
+		}
+		cfg := &config{kinds: make(map[string]bool), pos: d.Pos}
+		for _, kv := range strings.Fields(d.Args) {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("malformed epochfence argument %q", kv)
+			}
+			switch key {
+			case "kinds":
+				for _, k := range strings.Split(val, ",") {
+					if k = strings.TrimSpace(k); k != "" {
+						cfg.kinds[k] = true
+					}
+				}
+			case "gate":
+				cfg.gate = val
+			default:
+				return nil, fmt.Errorf("unknown epochfence argument %q", key)
+			}
+		}
+		if len(cfg.kinds) == 0 || cfg.gate == "" {
+			return nil, fmt.Errorf("epochfence directive needs kinds=... and gate=...")
+		}
+		return cfg, nil
+	}
+	return nil, nil
+}
+
+func run(pass *analysis.Pass) error {
+	cfg, err := parseDirective(pass)
+	if err != nil {
+		return err
+	}
+	if cfg == nil {
+		return nil // package does not opt in
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok || !isKindType(tv.Type) {
+				return true
+			}
+			for _, clause := range sw.Body.List {
+				cc := clause.(*ast.CaseClause)
+				listed := listedKinds(cfg, cc)
+				if len(listed) == 0 || callsGate(cc, cfg.gate) {
+					continue
+				}
+				pass.Reportf(cc.Pos(),
+					"case %s handles an epoch-bearing frame without calling %s; frames from a stale membership epoch must be fenced before any state merges",
+					strings.Join(listed, ", "), cfg.gate)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKindType reports whether t is a named type called FrameKind.
+func isKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == kindTypeName
+}
+
+// listedKinds returns the directive-listed kind names this case clause
+// matches (empty for default clauses and unlisted kinds).
+func listedKinds(cfg *config, cc *ast.CaseClause) []string {
+	var out []string
+	for _, e := range cc.List {
+		if id := identOf(e); id != nil && cfg.kinds[id.Name] {
+			out = append(out, id.Name)
+		}
+	}
+	return out
+}
+
+// callsGate reports whether the clause body contains a call whose callee
+// is named gate (plain call or method call).
+func callsGate(cc *ast.CaseClause, gate string) bool {
+	found := false
+	for _, st := range cc.Body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id := identOf(call.Fun); id != nil && id.Name == gate {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+// identOf unwraps qualified (recv.Name) and bare identifiers.
+func identOf(e ast.Expr) *ast.Ident {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v
+	case *ast.SelectorExpr:
+		return v.Sel
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/epochfence"
+)
+
+// TestDirectivePackage covers the opt-in package: gated cases pass,
+// the ungated listed case is reported, unlisted kinds are ignored.
+func TestDirectivePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", epochfence.Analyzer, "a", "example.com/m")
+}
+
+// TestNoDirective proves the rule is opt-in: an ungated dispatch in a
+// directive-free package produces nothing.
+func TestNoDirective(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata", epochfence.Analyzer, "b", "example.com/m"); len(diags) != 0 {
+		t.Fatalf("expected no diagnostics without a directive, got %v", diags)
+	}
+}

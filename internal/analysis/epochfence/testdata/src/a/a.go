@@ -1,0 +1,56 @@
+// Package a is the epochfence fixture: one dispatch switch where every
+// listed kind gates correctly, and one where a listed kind forgot the
+// gate (reported). Unlisted kinds and default clauses are ignored.
+package a
+
+//adaptivelint:epochfence kinds=FrameData,FrameKnowledgeDelta gate=epochGate
+
+type FrameKind uint8
+
+const (
+	FrameHeartbeat FrameKind = iota + 1
+	FrameData
+	FrameKnowledgeDelta
+	FrameJoin
+)
+
+type node struct{ epoch uint64 }
+
+func (n *node) epochGate(e uint64) bool { return e == n.epoch }
+
+func (n *node) merge(epoch uint64) { n.epoch = epoch }
+
+// dispatchGood gates every listed kind before merging.
+func (n *node) dispatchGood(k FrameKind, epoch uint64) {
+	switch k {
+	case FrameHeartbeat:
+		n.merge(epoch) // legacy kind carries no epoch; not listed, not reported
+	case FrameData:
+		if !n.epochGate(epoch) {
+			return
+		}
+		n.merge(epoch)
+	case FrameKnowledgeDelta:
+		if !n.epochGate(epoch) {
+			return
+		}
+		n.merge(epoch)
+	case FrameJoin:
+		n.merge(epoch)
+	}
+}
+
+// dispatchBad merges FrameData state without consulting the gate.
+func (n *node) dispatchBad(k FrameKind, epoch uint64) {
+	switch k {
+	case FrameHeartbeat:
+	case FrameData: // want "case FrameData handles an epoch-bearing frame without calling epochGate"
+		n.merge(epoch)
+	case FrameKnowledgeDelta:
+		if !n.epochGate(epoch) {
+			return
+		}
+		n.merge(epoch)
+	case FrameJoin:
+	}
+}

@@ -1,0 +1,22 @@
+// Package b has an ungated FrameKind dispatch but no epochfence
+// directive: the analyzer must stay silent — the rule is opt-in per
+// package, so codec packages switching over kinds to encode or decode
+// are untouched.
+package b
+
+type FrameKind uint8
+
+const (
+	FrameHeartbeat FrameKind = iota + 1
+	FrameData
+)
+
+func dispatch(k FrameKind) int {
+	switch k {
+	case FrameHeartbeat:
+		return 1
+	case FrameData:
+		return 2
+	}
+	return 0
+}

@@ -12,6 +12,7 @@ import (
 	"adaptivecast/internal/analysis"
 	"adaptivecast/internal/analysis/analysistest"
 	"adaptivecast/internal/analysis/atomicfields"
+	"adaptivecast/internal/analysis/epochfence"
 	"adaptivecast/internal/analysis/internalboundary"
 	"adaptivecast/internal/analysis/lockorder"
 	"adaptivecast/internal/analysis/wirekind"
@@ -26,6 +27,7 @@ func TestEachAnalyzerFires(t *testing.T) {
 		atomicfields.Analyzer,
 		lockorder.Analyzer,
 		wirekind.Analyzer,
+		epochfence.Analyzer,
 		internalboundary.New(""),
 	}
 	diags, err := analysis.Run(pkg, analyzers)

@@ -6,6 +6,7 @@
 //   - atomicfields:     copying an atomic.Int64 field
 //   - lockorder:        acquiring hi (rank 10) while holding lo (rank 20)
 //   - wirekind:         a FrameKind switch missing frameB
+//   - epochfence:       the frameA case never calls the declared gate
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 )
 
 //adaptivelint:lockrank state.hi=10 state.lo=20
+//adaptivelint:epochfence kinds=frameA gate=gateEpoch
 
 type state struct {
 	hi   sync.Mutex

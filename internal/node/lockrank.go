@@ -22,9 +22,15 @@ package node
 // slow peer backpressure the whole knowledge plane (the PR 2 lock-split
 // exists to prevent exactly that).
 //
+// The epochfence directive is this package's opt-in to the epoch-gating
+// rule (internal/analysis/epochfence): every FrameKind dispatch case for
+// the epoch-bearing kinds must call epochGate before touching any node
+// state — see Node.handle and Node.epochGate.
+//
 //adaptivelint:lockrank Node.memberMu=10 Node.planMu=20 Node.viewMu=30
 //adaptivelint:lockrank Node.reannMu=40 Node.peerMu=40 Node.cadMu=40 Node.leaseMu=40
 //adaptivelint:lockrank deliveredSet.mu=40 forwardCache.mu=40
 //adaptivelint:lockrank MemStorage.mu=50
 //adaptivelint:noblockingcalls Node.viewMu
-//adaptivelint:blockingpkg adaptivecast/internal/transport
+//adaptivelint:blockingpkg adaptivecast/internal/transport adaptivecast/internal/lanes
+//adaptivelint:epochfence kinds=FrameData,FrameKnowledgeDelta gate=epochGate

@@ -34,6 +34,7 @@ import (
 	"adaptivecast/internal/config"
 	"adaptivecast/internal/dedup"
 	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/lanes"
 	"adaptivecast/internal/mrt"
 	"adaptivecast/internal/optimize"
 	"adaptivecast/internal/topology"
@@ -73,6 +74,22 @@ type Stats struct {
 	ForwardCacheMisses  int // received data frames that had to rebuild their tree
 	StaleEpochFrames    int // frames fenced off because they carried an older membership epoch
 	EpochChanges        int // membership epoch adoptions (joins/leaves applied, catch-ups included)
+
+	// Send-path counters (see Config.LaneScheduler and the encode pool).
+	LaneDrops        LaneDrops // outbound frames shed by the lane scheduler, per lane
+	CoalescedFlushes int       // data flushes that carried >= 2 distinct coalesced frames
+	CoalescedFrames  int       // data frames that shared a flush with at least one other
+	EncodePoolHits   int       // frame encodes served by a recycled pooled buffer
+	EncodePoolMisses int       // frame encodes that had to allocate a fresh buffer
+}
+
+// LaneDrops counts outbound frames the lane scheduler shed, per lane.
+// Control is structurally always 0 — the control lane is unbounded by
+// design — and the field exists so tests can assert exactly that.
+type LaneDrops struct {
+	Control   int
+	Data      int
+	Telemetry int
 }
 
 // counters is the runtime's internal, atomically updated form of Stats,
@@ -215,6 +232,25 @@ type Config struct {
 	// requires delta heartbeats and all peers to understand wire
 	// version 2 frames.
 	AdaptiveCadenceMax int
+	// LaneScheduler routes outbound frames through a per-peer prioritized
+	// lane scheduler (control > data > telemetry): sends become
+	// asynchronous hand-offs to bounded per-peer queues, protocol-critical
+	// control frames (heartbeats, deltas, membership repairs) are never
+	// shed and overtake queued data, and each peer's data drains in
+	// coalesced batches through the transport's multi-frame fast path.
+	// Off by default — sends then stay synchronous on the calling
+	// goroutine, exactly the pre-scheduler behavior.
+	LaneScheduler bool
+	// LaneQueueDepth bounds each peer's data lane when the scheduler is
+	// on (default 256). At the high watermark new data frames are shed
+	// and counted in Stats.LaneDrops; the control lane is never bounded.
+	LaneQueueDepth int
+	// AggregationWindow holds queued data frames back up to this long so
+	// several broadcasts to one peer coalesce into one transport flush.
+	// 0 (the default) flushes as soon as the peer's drain goroutine gets
+	// to the frame. Only meaningful with LaneScheduler; control frames
+	// are never held back.
+	AggregationWindow time.Duration
 	// Hooks are optional instrumentation callbacks.
 	Hooks Hooks
 	// Now injects a clock for tests (default time.Now).
@@ -325,6 +361,14 @@ type Node struct {
 	// borrowDecode is set when the transport hands the handler exclusive
 	// frame buffers (transport.FrameOwner), enabling zero-copy decode.
 	borrowDecode bool
+
+	// lanes is the optional prioritized send scheduler
+	// (Config.LaneScheduler); nil keeps every send synchronous on the
+	// calling goroutine. encPool recycles outbound frame encode buffers
+	// across sends (sound because of the transport Send ownership rule:
+	// buffers are only borrowed for the duration of a send).
+	lanes   *lanes.Scheduler
+	encPool encodePool
 
 	// viewMu guards the knowledge view (heartbeat merges, ticks,
 	// estimate reads). It is never held while sending.
@@ -490,6 +534,12 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		}
 	}
 	n.seq.Store(resume)
+	if cfg.LaneScheduler {
+		n.lanes = lanes.New(tr, lanes.Config{
+			QueueDepth: cfg.LaneQueueDepth,
+			Window:     cfg.AggregationWindow,
+		})
+	}
 	tr.SetHandler(n.handle)
 	return n, nil
 }
@@ -513,6 +563,12 @@ func (n *Node) Stop() {
 			<-n.done
 		}
 		n.closed.Store(true)
+		if n.lanes != nil {
+			// Drain, don't drop: queued control and data frames still flush
+			// onto the transport (which the caller owns and must close only
+			// after Stop returns) before Stop completes.
+			_ = n.lanes.Close()
+		}
 	})
 }
 
@@ -530,8 +586,36 @@ func (n *Node) Neighbors() []topology.NodeID { return *n.nbs.Load() }
 // Deliveries returns the channel of application deliveries.
 func (n *Node) Deliveries() <-chan Delivery { return n.deliveries }
 
-// Stats returns a snapshot of the node counters.
-func (n *Node) Stats() Stats { return n.stats.snapshot() }
+// Stats returns a snapshot of the node counters, folding in the send
+// path's scheduler and encode-pool counters.
+func (n *Node) Stats() Stats {
+	s := n.stats.snapshot()
+	s.EncodePoolHits = int(n.encPool.hits.Load())
+	s.EncodePoolMisses = int(n.encPool.misses.Load())
+	if n.lanes != nil {
+		ls := n.lanes.Stats()
+		s.LaneDrops = LaneDrops{
+			Control:   ls.Drops.Control,
+			Data:      ls.Drops.Data,
+			Telemetry: ls.Drops.Telemetry,
+		}
+		s.CoalescedFlushes = ls.CoalescedFlushes
+		s.CoalescedFrames = ls.CoalescedFrames
+	}
+	return s
+}
+
+// WaitSendIdle blocks until the lane scheduler has flushed every queued
+// outbound frame, or the timeout elapses; it reports whether idle was
+// reached. Without the scheduler sends are synchronous and it returns
+// true immediately. Benchmarks and tests use it so throughput numbers
+// measure frames handed to the transport, not enqueue rate.
+func (n *Node) WaitSendIdle(timeout time.Duration) bool {
+	if n.lanes == nil {
+		return true
+	}
+	return n.lanes.WaitIdle(timeout)
+}
 
 // CrashEstimate reads the node's current estimate of process i.
 func (n *Node) CrashEstimate(i topology.NodeID) (mean float64, dist int) {
@@ -604,7 +688,7 @@ func (n *Node) Tick() {
 		if lc := n.lastChange.Load(); lc != nil && lc.frame != nil {
 			for _, nb := range neighbors {
 				if nb != lc.member.Node {
-					_ = n.tr.Send(nb, lc.frame)
+					_ = n.sendControl(nb, lc.frame, nil)
 				}
 			}
 		}
@@ -697,13 +781,38 @@ func (n *Node) Tick() {
 		}
 		sent := 0
 		for _, nb := range neighbors {
-			if err := n.tr.Send(nb, frame); err == nil {
+			if err := n.sendControl(nb, frame, nil); err == nil {
 				sent++
 				n.stats.heartbeatBytesSent.Add(int64(len(frame)))
 			}
 		}
 		n.stats.heartbeatsSent.Add(int64(sent))
 		return
+	}
+
+	// Shared delta cuts: the snapshot section of a delta frame is encoded
+	// once per distinct snapshot (in the common case every neighbor acked
+	// the same version, so once per period), then spliced after each
+	// neighbor's individual header — Since/Ack/Cadence differ per peer,
+	// the record section doesn't. Section buffers are copied into the
+	// frames by AppendDeltaFrame, so they recycle as soon as the loop
+	// ends; frame buffers recycle when their send releases them.
+	var secBufs []*encBuf
+	secs := make(map[*knowledge.Snapshot][]byte, 2)
+	sectionFor := func(s *knowledge.Snapshot) ([]byte, error) {
+		if sec, ok := secs[s]; ok {
+			return sec, nil
+		}
+		eb := n.encPool.get()
+		sec, err := wire.AppendSnapshotSection(eb.b, s)
+		if err != nil {
+			n.encPool.put(eb)
+			return nil, err
+		}
+		eb.b = sec
+		secBufs = append(secBufs, eb)
+		secs[s] = sec
+		return sec, nil
 	}
 
 	sent, deltas := 0, 0
@@ -722,24 +831,33 @@ func (n *Node) Tick() {
 				continue
 			}
 		}
-		frame, err := wire.Encode(&wire.Frame{Kind: wire.FrameKnowledgeDelta, Delta: &wire.KnowledgeDelta{
-			Snap:    o.snap,
+		sec, err := sectionFor(o.snap)
+		if err != nil {
+			continue
+		}
+		eb := n.encPool.get()
+		frame, err := wire.AppendDeltaFrame(eb.b, &wire.KnowledgeDelta{
 			Since:   o.since,
 			Ver:     ver,
 			Ack:     seen[o.to],
 			Cadence: uint64(declared),
 			Epoch:   epoch,
-		}})
+		}, sec)
 		if err != nil {
+			n.encPool.put(eb)
 			continue
 		}
-		if err := n.tr.Send(o.to, frame); err == nil {
+		eb.b = frame
+		if err := n.sendControl(o.to, frame, n.encPool.releaser(eb)); err == nil {
 			sent++
 			n.stats.heartbeatBytesSent.Add(int64(len(frame)))
 			if o.since > 0 {
 				deltas++
 			}
 		}
+	}
+	for _, eb := range secBufs {
+		n.encPool.put(eb)
 	}
 	n.stats.heartbeatsSent.Add(int64(sent))
 	n.stats.deltaHeartbeatsSent.Add(int64(deltas))
@@ -837,10 +955,16 @@ func (n *Node) Broadcast(body []byte) (seq uint64, planned int, err error) {
 	}
 	n.pushDelivery(Delivery{Origin: n.cfg.ID, Seq: seq, From: n.cfg.ID, Body: body})
 
+	// Encode once: forward and flood both consume the same frame bytes
+	// (and the same pooled buffer, released after the last send).
+	frame, release, encErr := n.encodeDataFrame(msg)
+	if encErr != nil {
+		return seq, planned, encErr
+	}
 	if p.err == nil {
-		err = n.forward(p.tree, msg)
+		err = n.forward(p.tree, msg, frame, release)
 	} else {
-		err = n.flood(msg, topology.None) // originator flood: every neighbor
+		err = n.flood(topology.None, frame, release) // originator flood: every neighbor
 	}
 	return seq, planned, err
 }
@@ -930,20 +1054,6 @@ func buildPlan(g *topology.Graph, c *config.Config, err error, root topology.Nod
 	}
 }
 
-// encodeData serializes a data message, attaching this node's current
-// knowledge snapshot when piggybacking is enabled (each hop re-attaches
-// its own view, so distortion accounting matches hop-by-hop heartbeats).
-func (n *Node) encodeData(msg *wire.DataMsg) ([]byte, error) {
-	if n.cfg.Piggyback {
-		cp := *msg
-		n.viewMu.Lock()
-		cp.Piggyback = n.view.Snapshot()
-		n.viewMu.Unlock()
-		msg = &cp
-	}
-	return wire.Encode(&wire.Frame{Kind: wire.FrameData, Data: msg})
-}
-
 // allocByNode re-keys an edge-indexed allocation by child node for the
 // wire format, rejecting allocations that would not survive the int32
 // cast and tree edges that point outside the node range instead of
@@ -966,20 +1076,20 @@ func allocByNode(tree *mrt.Tree, alloc []int) ([]int32, error) {
 	return out, nil
 }
 
-// forward pushes the allocated copies to this node's children in the
-// message's tree (Algorithm 1 lines 8–12), batching each child's m[j]
-// identical copies through the transport's SendN fast path (one fabric
-// enqueue / one TCP flush per child instead of one per copy). Individual
-// send failures are tolerated (the protocol's loss model), but when every
-// attempted send fails structurally — closed transport, unknown peers —
-// the broadcast went nowhere and the caller is told.
-func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
-	frame, err := n.encodeData(msg)
-	if err != nil {
-		return err
-	}
+// forward pushes the allocated copies of a pre-encoded data frame to
+// this node's children in the message's tree (Algorithm 1 lines 8–12),
+// batching each child's m[j] identical copies through the send path's
+// SendN/data-lane fast path (one fabric enqueue / one TCP flush per
+// child instead of one per copy). The frame is shared across children;
+// release (optional) is fanned out so the buffer recycles after the
+// last child's send is done with it. Individual send failures are
+// tolerated (the protocol's loss model), but when every attempted send
+// fails structurally — closed transport, unknown peers — the broadcast
+// went nowhere and the caller is told.
+func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg, frame []byte, release func()) error {
 	attempted, sent := 0, 0
 	var lastErr error
+	shared := newSharedRelease(release)
 	for _, child := range tree.Children(n.cfg.ID) {
 		copies := 0
 		if int(child) < len(msg.AllocByNode) {
@@ -989,12 +1099,13 @@ func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 			continue
 		}
 		attempted += copies
-		got, err := transport.SendN(n.tr, child, frame, copies)
+		got, err := n.sendDataN(child, frame, copies, shared.acquire())
 		sent += got
 		if err != nil {
 			lastErr = err
 		}
 	}
+	shared.done()
 	n.stats.dataSent.Add(int64(sent))
 	if attempted > 0 && sent == 0 {
 		return fmt.Errorf("node: all %d forwards failed: %w", attempted, lastErr)
@@ -1002,29 +1113,28 @@ func (n *Node) forward(tree *mrt.Tree, msg *wire.DataMsg) error {
 	return nil
 }
 
-// flood sends one copy to every neighbor except `except` (topology.None
-// floods everyone). Originator floods cover all neighbors; relay floods
-// exclude the inbound sender — echoing the frame back to whoever just
-// sent it wastes a frame per hop and, with piggybacking, re-merges our
-// own snapshot. Error semantics match forward.
-func (n *Node) flood(msg *wire.DataMsg, except topology.NodeID) error {
-	frame, err := n.encodeData(msg)
-	if err != nil {
-		return err
-	}
+// flood sends one copy of a pre-encoded data frame to every neighbor
+// except `except` (topology.None floods everyone). Originator floods
+// cover all neighbors; relay floods exclude the inbound sender —
+// echoing the frame back to whoever just sent it wastes a frame per hop
+// and, with piggybacking, re-merges our own snapshot. Frame sharing,
+// release fan-out and error semantics match forward.
+func (n *Node) flood(except topology.NodeID, frame []byte, release func()) error {
 	attempted, sent := 0, 0
 	var lastErr error
+	shared := newSharedRelease(release)
 	for _, nb := range n.Neighbors() {
 		if nb == except {
 			continue
 		}
 		attempted++
-		if err := n.tr.Send(nb, frame); err == nil {
-			sent++
-		} else {
+		got, err := n.sendDataN(nb, frame, 1, shared.acquire())
+		sent += got
+		if err != nil {
 			lastErr = err
 		}
 	}
+	shared.done()
 	n.stats.dataSent.Add(int64(sent))
 	if attempted > 0 && sent == 0 {
 		return fmt.Errorf("node: all %d floods failed: %w", attempted, lastErr)
@@ -1073,7 +1183,7 @@ func (n *Node) handle(from topology.NodeID, frameBytes []byte) {
 		if !n.epochGate(from, frame.Data.Epoch) {
 			return
 		}
-		n.handleData(from, frame.Data)
+		n.handleData(from, frame.Data, frameBytes)
 	case wire.FrameJoin, wire.FrameLeave:
 		n.handleMembership(from, frame.Kind, frame.Member)
 	}
@@ -1105,7 +1215,7 @@ func (n *Node) epochGate(from topology.NodeID, frameEpoch uint64) bool {
 		n.reannMu.Unlock()
 		if first {
 			if lc := n.lastChange.Load(); lc != nil && lc.frame != nil {
-				_ = n.tr.Send(from, lc.frame)
+				_ = n.sendControl(from, lc.frame, nil)
 			}
 		}
 	}
@@ -1137,7 +1247,7 @@ func (n *Node) handleMembership(from topology.NodeID, kind wire.FrameKind, m *wi
 			if nb == from || nb == m.Node {
 				continue
 			}
-			_ = n.tr.Send(nb, lc.frame)
+			_ = n.sendControl(nb, lc.frame, nil)
 		}
 	}
 }
@@ -1384,8 +1494,11 @@ func (n *Node) handleDelta(from topology.NodeID, d *wire.KnowledgeDelta) {
 }
 
 // handleData is Algorithm 1 lines 5–7: deliver on first receipt, then
-// keep propagating along the carried tree (or re-flood warm-up messages).
-func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
+// keep propagating along the carried tree (or re-flood warm-up
+// messages). raw is the encoded inbound frame; when the transport
+// handed over its ownership the relay reuses (or splices) it instead of
+// re-serializing — see relayDataFrame.
+func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg, raw []byte) {
 	if n.closed.Load() {
 		return
 	}
@@ -1429,10 +1542,12 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 
 	if len(msg.Parents) == 0 {
 		// Relay flood: exclude the inbound sender, who by construction
-		// already has the frame. Flood errors mean a knowledge-snapshot
+		// already has the frame. Relay errors mean a knowledge snapshot
 		// failed to encode; the message was already delivered locally, so
 		// just drop the relay.
-		_ = n.flood(msg, from)
+		if frame, release, err := n.relayDataFrame(msg, raw); err == nil {
+			_ = n.flood(from, frame, release)
+		}
 		return
 	}
 	tree, err := n.treeFromParents(msg.Root, msg.Parents)
@@ -1443,7 +1558,11 @@ func (n *Node) handleData(from topology.NodeID, msg *wire.DataMsg) {
 	if int(n.cfg.ID) >= tree.NumNodes() {
 		return // tree predates our membership; nothing to forward
 	}
-	_ = n.forward(tree, msg)
+	frame, release, err := n.relayDataFrame(msg, raw)
+	if err != nil {
+		return
+	}
+	_ = n.forward(tree, msg, frame, release)
 }
 
 // treeFromParents rebuilds (or fetches from the forwarder cache) the tree

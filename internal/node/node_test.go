@@ -60,6 +60,18 @@ func buildCluster(t *testing.T, g *topology.Graph, fabric *transport.Fabric, cfg
 			if over.Knowledge.DeltaEpsilon != 0 {
 				c.Knowledge = over.Knowledge
 			}
+			if over.Piggyback {
+				c.Piggyback = true
+			}
+			if over.LaneScheduler {
+				c.LaneScheduler = true
+			}
+			if over.LaneQueueDepth != 0 {
+				c.LaneQueueDepth = over.LaneQueueDepth
+			}
+			if over.AggregationWindow != 0 {
+				c.AggregationWindow = over.AggregationWindow
+			}
 		}
 		nd, err := New(c, fabric.Endpoint(topology.NodeID(i)))
 		if err != nil {

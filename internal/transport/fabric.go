@@ -20,6 +20,15 @@ type FabricOptions struct {
 	// queue is full the frame is dropped — the model tolerates loss by
 	// construction, and the drop is counted in Stats.
 	QueueSize int
+	// SendCost charges the sender this many bytes of memory copy per
+	// transport call (Send/SendN/SendFrames each count as one flush),
+	// into a per-link buffer held under a per-link lock — the shape of
+	// the kernel socket-buffer copy a write(2) pays on a real NIC, where
+	// flushes to different peers overlap but flushes on the same
+	// connection serialize. 0 (the default) keeps sends free. Saturation
+	// benchmarks set this; without it the fabric has no backpressure for
+	// a pipelined sender to win against.
+	SendCost int
 }
 
 func (o FabricOptions) withDefaults() FabricOptions {
@@ -50,17 +59,24 @@ type Fabric struct {
 	loss      map[topology.Link]float64
 	stats     FabricStats
 	closed    bool
+	// costSrc is the SendCost-sized source block every simulated kernel
+	// copy reads from (nil when sends are free).
+	costSrc []byte
 }
 
 // NewFabric returns an empty fabric.
 func NewFabric(opts FabricOptions) *Fabric {
 	opts = opts.withDefaults()
-	return &Fabric{
+	f := &Fabric{
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		endpoints: make(map[topology.NodeID]*fabricEndpoint),
 		loss:      make(map[topology.Link]float64),
 	}
+	if opts.SendCost > 0 {
+		f.costSrc = make([]byte, opts.SendCost)
+	}
+	return f
 }
 
 // SetLoss injects a loss probability for the (undirected) link a—b.
@@ -94,6 +110,9 @@ func (f *Fabric) Endpoint(id topology.NodeID) Transport {
 		queue:  make(chan inboundFrame, f.opts.QueueSize),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	if f.opts.SendCost > 0 {
+		ep.links = make(map[topology.NodeID]*linkBuf)
 	}
 	go ep.receiveLoop()
 	f.endpoints[id] = ep
@@ -177,12 +196,94 @@ func (f *Fabric) route(from, to topology.NodeID, frame []byte, n int) error {
 	return nil
 }
 
+// routeBatch is route over several distinct frames: one lock acquisition
+// samples loss for the whole flush (still one independent Bernoulli
+// trial per copy), then each surviving frame is copied and enqueued.
+// Under a saturated sender the fabric's global mutex is the contended
+// resource, so amortizing it across a coalesced flush is what the lane
+// scheduler's throughput win on this transport comes from.
+func (f *Fabric) routeBatch(from, to topology.NodeID, batch []FrameBatch) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("transport: fabric closed")
+	}
+	dst, ok := f.endpoints[to]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("transport: unknown peer %d", to)
+	}
+	p := f.loss[topology.NewLink(from, to)]
+	survivors := make([]int, len(batch))
+	for i, e := range batch {
+		if e.Copies <= 0 {
+			continue
+		}
+		f.stats.Sent += e.Copies
+		survivors[i] = e.Copies
+		if p > 0 {
+			survivors[i] = 0
+			for c := 0; c < e.Copies; c++ {
+				if f.rng.Float64() >= p {
+					survivors[i]++
+				}
+			}
+			f.stats.Lost += e.Copies - survivors[i]
+		}
+	}
+	f.mu.Unlock()
+
+	inbound := make([]inboundFrame, 0, len(batch))
+	for i, e := range batch {
+		if survivors[i] == 0 {
+			continue
+		}
+		// Copy per frame: the sender may recycle its buffers on return.
+		cp := make([]byte, len(e.Frame))
+		copy(cp, e.Frame)
+		inbound = append(inbound, inboundFrame{from: from, frame: cp, copies: survivors[i]})
+	}
+	if len(inbound) == 0 {
+		return nil
+	}
+	// One delayed delivery for the whole flush: the frames shared a wire,
+	// so they share an arrival (and one timer — per-frame timers would
+	// melt the runtime under a saturating sender).
+	deliver := func() {
+		for _, in := range inbound {
+			select {
+			case dst.queue <- in:
+			case <-dst.stop:
+			default:
+				f.mu.Lock()
+				f.stats.Overflows += in.copies
+				f.mu.Unlock()
+			}
+		}
+	}
+	if f.opts.Latency > 0 {
+		time.AfterFunc(f.opts.Latency, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}
+
 // inboundFrame is one queue entry: `copies` logical arrivals of the same
 // frame (the handler runs once per copy).
 type inboundFrame struct {
 	from   topology.NodeID
 	frame  []byte
 	copies int
+}
+
+// linkBuf is one outbound connection's simulated write buffer: the
+// per-link lock serializes flushes on the same link while flushes to
+// different peers proceed in parallel, like per-connection socket
+// buffers.
+type linkBuf struct {
+	mu      sync.Mutex
+	scratch []byte
 }
 
 // fabricEndpoint is one node's attachment to the fabric.
@@ -193,6 +294,10 @@ type fabricEndpoint struct {
 	handlerMu sync.RWMutex
 	handler   Handler
 
+	// links holds per-destination write buffers; nil unless SendCost > 0.
+	linksMu sync.Mutex
+	links   map[topology.NodeID]*linkBuf
+
 	queue     chan inboundFrame
 	stop      chan struct{}
 	done      chan struct{}
@@ -201,6 +306,8 @@ type fabricEndpoint struct {
 
 var _ Transport = (*fabricEndpoint)(nil)
 var _ FrameOwner = (*fabricEndpoint)(nil)
+var _ BatchSender = (*fabricEndpoint)(nil)
+var _ MultiFrameSender = (*fabricEndpoint)(nil)
 
 // HandlerOwnsFrame implements FrameOwner: route() allocates a fresh
 // buffer per routed frame and the fabric never touches it again, so
@@ -209,6 +316,27 @@ func (ep *fabricEndpoint) HandlerOwnsFrame() bool { return true }
 
 // Local implements Transport.
 func (ep *fabricEndpoint) Local() topology.NodeID { return ep.id }
+
+// paySendCost performs the simulated per-flush kernel copy for the link
+// to `to`. One call per transport call, regardless of how many frames
+// or copies the flush carries — that amortization is exactly what a
+// coalescing sender buys.
+func (ep *fabricEndpoint) paySendCost(to topology.NodeID) {
+	cost := ep.fabric.opts.SendCost
+	if cost <= 0 {
+		return
+	}
+	ep.linksMu.Lock()
+	lb := ep.links[to]
+	if lb == nil {
+		lb = &linkBuf{scratch: make([]byte, cost)}
+		ep.links[to] = lb
+	}
+	ep.linksMu.Unlock()
+	lb.mu.Lock()
+	copy(lb.scratch, ep.fabric.costSrc)
+	lb.mu.Unlock()
+}
 
 // SetHandler implements Transport.
 func (ep *fabricEndpoint) SetHandler(h Handler) {
@@ -233,7 +361,23 @@ func (ep *fabricEndpoint) SendN(to topology.NodeID, frame []byte, n int) error {
 		return errors.New("transport: endpoint closed")
 	default:
 	}
+	ep.paySendCost(to)
 	return ep.fabric.route(ep.id, to, frame, n)
+}
+
+// SendFrames implements MultiFrameSender: the whole flush samples loss
+// under one fabric lock acquisition instead of one per frame.
+func (ep *fabricEndpoint) SendFrames(to topology.NodeID, batch []FrameBatch) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	select {
+	case <-ep.stop:
+		return errors.New("transport: endpoint closed")
+	default:
+	}
+	ep.paySendCost(to)
+	return ep.fabric.routeBatch(ep.id, to, batch)
 }
 
 // Close implements Transport.

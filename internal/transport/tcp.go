@@ -98,6 +98,8 @@ type tcpConn struct {
 }
 
 var _ Transport = (*TCP)(nil)
+var _ BatchSender = (*TCP)(nil)
+var _ MultiFrameSender = (*TCP)(nil)
 
 // NewTCP starts a TCP transport for node `local`, listening on listenAddr
 // and able to reach the peers in the address book (peer ID → host:port).
@@ -181,6 +183,50 @@ func (t *TCP) SendN(to topology.NodeID, frame []byte, n int) error {
 	}
 	t.flushes.Add(1)
 	t.framesSent.Add(int64(n))
+	t.bytesSent.Add(int64(len(buf)))
+	return nil
+}
+
+// SendFrames implements MultiFrameSender: the batch's distinct frames —
+// each repeated Copies times — are laid out length-prefixed in one
+// buffer and flushed with a single Write, so a lane-scheduler flush
+// coalescing several broadcasts to one peer costs one syscall however
+// many frames it carries.
+func (t *TCP) SendFrames(to topology.NodeID, batch []FrameBatch) error {
+	size := 0
+	for _, e := range batch {
+		if e.Copies <= 0 {
+			continue
+		}
+		if len(e.Frame) > maxFrameSize {
+			return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(e.Frame))
+		}
+		size += e.Copies * (4 + len(e.Frame))
+	}
+	if size == 0 {
+		return nil
+	}
+	conn, err := t.connTo(to)
+	if err != nil {
+		return err
+	}
+	frames := 0
+	buf := make([]byte, 0, size)
+	for _, e := range batch {
+		for i := 0; i < e.Copies; i++ {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Frame)))
+			buf = append(buf, e.Frame...)
+			frames++
+		}
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.c.Write(buf); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("transport: write to %d: %w", to, err)
+	}
+	t.flushes.Add(1)
+	t.framesSent.Add(int64(frames))
 	t.bytesSent.Add(int64(len(buf)))
 	return nil
 }

@@ -29,6 +29,15 @@ type Transport interface {
 	// transports may drop frames silently — that is the failure model the
 	// protocol is built for — but structural failures (unknown peer,
 	// closed transport) return an error.
+	//
+	// Buffer ownership: the frame slice is only borrowed for the duration
+	// of the call — when Send returns, the buffer is the caller's again
+	// and may be recycled immediately. Implementations that need the
+	// bytes later (queued delivery, async writes) must copy before
+	// returning; both in-package transports do (the Fabric copies per
+	// routed frame, TCP lays frames into a fresh write buffer). This is
+	// the outbound mirror of the FrameOwner contract, and it is what
+	// makes pooled encode buffers on the send path sound.
 	Send(to topology.NodeID, frame []byte) error
 	// Close releases resources and stops the receive loop. It is
 	// idempotent; after Close, Send fails and no handler runs.
@@ -66,6 +75,63 @@ type FrameOwner interface {
 	// HandlerOwnsFrame reports whether handler-received frame buffers are
 	// the handler's to keep.
 	HandlerOwnsFrame() bool
+}
+
+// FrameBatch is one entry of a coalesced flush: an encoded frame and the
+// number of logical copies to deliver (the per-edge m[j] burst).
+type FrameBatch struct {
+	Frame  []byte
+	Copies int
+}
+
+// MultiFrameSender is the optional fast path for transports that can
+// flush several *distinct* frames to one peer more cheaply than one call
+// per frame — the lane scheduler's aggregation window coalesces different
+// broadcasts headed to the same peer into one flush, and a transport
+// implementing this turns the whole flush into one operation (TCP: one
+// buffered Write; the Fabric: one lock acquisition with loss still
+// sampled per copy).
+//
+// Contract: SendFrames(to, batch) is semantically the concatenation of
+// SendN(to, e.Frame, e.Copies) over the batch, in order — per-copy loss
+// sampling and per-copy handler invocation included. Entries with
+// Copies <= 0 are skipped. Frame buffers follow Send's ownership rule:
+// borrowed for the call, the caller's again on return.
+type MultiFrameSender interface {
+	SendFrames(to topology.NodeID, batch []FrameBatch) error
+}
+
+// SendFrames flushes a batch of distinct frames to one peer, using the
+// transport's MultiFrameSender fast path when it has one and degrading
+// to a SendN loop otherwise. It reports how many logical copies were
+// handed to the transport; like SendN, the fast path is all-or-nothing
+// while the fallback loop counts per-entry successes. err is the last
+// failure when any entry failed, nil otherwise.
+func SendFrames(t Transport, to topology.NodeID, batch []FrameBatch) (sent int, err error) {
+	total := 0
+	for _, e := range batch {
+		if e.Copies > 0 {
+			total += e.Copies
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	if ms, ok := t.(MultiFrameSender); ok {
+		if err := ms.SendFrames(to, batch); err != nil {
+			return 0, err
+		}
+		return total, nil
+	}
+	var lastErr error
+	for _, e := range batch {
+		got, err := SendN(t, to, e.Frame, e.Copies)
+		sent += got
+		if err != nil {
+			lastErr = err
+		}
+	}
+	return sent, lastErr
 }
 
 // SendN transmits n logical copies of frame to one peer, using the

@@ -460,3 +460,149 @@ func TestTCPSendNSingleFlush(t *testing.T) {
 		t.Errorf("after Send: stats = %+v", st)
 	}
 }
+
+// TestSendFramesShimFallsBackToSendN: the helper degrades to a per-entry
+// SendN loop on transports without the multi-frame fast path, skipping
+// non-positive copy counts and keeping exact accounting.
+func TestSendFramesShimFallsBackToSendN(t *testing.T) {
+	s := &sendOnly{}
+	batch := []FrameBatch{
+		{Frame: []byte("a"), Copies: 2},
+		{Frame: []byte("b"), Copies: 0}, // skipped
+		{Frame: []byte("c"), Copies: 3},
+	}
+	sent, err := SendFrames(s, 1, batch)
+	if err != nil || sent != 5 {
+		t.Fatalf("shim: sent=%d err=%v, want 5", sent, err)
+	}
+	if s.sent != 5 {
+		t.Fatalf("transport saw %d sends, want 5", s.sent)
+	}
+	if sent, err := SendFrames(s, 1, []FrameBatch{{Frame: []byte("x"), Copies: 0}}); err != nil || sent != 0 {
+		t.Fatal("an all-zero batch must be a no-op")
+	}
+}
+
+// TestFabricSendFramesDeliversBatch: the fabric's multi-frame fast path
+// delivers every copy of every distinct frame, in batch order, and the
+// sender gets its buffers back (the fabric copies before enqueueing).
+func TestFabricSendFramesDeliversBatch(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	frameA := []byte("alpha")
+	frameB := []byte("beta")
+	batch := []FrameBatch{
+		{Frame: frameA, Copies: 2},
+		{Frame: frameB, Copies: 0}, // skipped
+		{Frame: frameB, Copies: 1},
+	}
+	if sent, err := SendFrames(a, 1, batch); err != nil || sent != 3 {
+		t.Fatalf("sent=%d err=%v, want 3", sent, err)
+	}
+	// Ownership: the call only borrowed the buffers.
+	frameA[0] = 'X'
+	frameB[0] = 'X'
+
+	col.wait(t, 3)
+	frames, _ := col.snapshot()
+	want := []string{"alpha", "alpha", "beta"}
+	for i, w := range want {
+		if frames[i] != w {
+			t.Errorf("delivery %d = %q, want %q", i, frames[i], w)
+		}
+	}
+	if s := f.Stats(); s.Sent != 3 || s.Lost != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestFabricSendFramesSamplesLossPerCopy: a coalesced flush must keep
+// the protocol's loss model — every copy of every frame sampled
+// independently, not the flush as a unit.
+func TestFabricSendFramesSamplesLossPerCopy(t *testing.T) {
+	f := NewFabric(FabricOptions{Seed: 13})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+	if err := f.SetLoss(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	const flushes, per = 400, 4
+	for i := 0; i < flushes; i++ {
+		batch := []FrameBatch{
+			{Frame: []byte("one"), Copies: per / 2},
+			{Frame: []byte("two"), Copies: per / 2},
+		}
+		if _, err := SendFrames(a, 1, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Sent != flushes*per {
+		t.Fatalf("sent = %d, want %d", s.Sent, flushes*per)
+	}
+	frac := float64(s.Lost) / float64(s.Sent)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("loss fraction = %v, want ≈0.5 (per-copy sampling)", frac)
+	}
+	col.wait(t, s.Sent-s.Lost)
+}
+
+// TestTCPSendFramesSingleFlush is the coalescing acceptance hook: a
+// multi-frame batch must reach the peer as its expanded frame sequence
+// while costing exactly one socket flush.
+func TestTCPSendFramesSingleFlush(t *testing.T) {
+	col := newCollector()
+	server, err := NewTCP(1, "127.0.0.1:0", nil, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = server.Close() }()
+	server.SetHandler(col.handler)
+	client, err := NewTCP(0, "127.0.0.1:0", map[topology.NodeID]string{1: server.Addr().String()}, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	batch := []FrameBatch{
+		{Frame: []byte("first"), Copies: 2},
+		{Frame: []byte("second"), Copies: 1},
+		{Frame: []byte("third"), Copies: 3},
+	}
+	total, bytes := 0, 0
+	for _, e := range batch {
+		total += e.Copies
+		bytes += e.Copies * (4 + len(e.Frame))
+	}
+	if sent, err := SendFrames(client, 1, batch); err != nil || sent != total {
+		t.Fatalf("sent=%d err=%v, want %d", sent, err, total)
+	}
+	st := client.Stats()
+	if st.Flushes != 1 {
+		t.Errorf("batch cost %d flushes, want exactly 1", st.Flushes)
+	}
+	if st.FramesSent != total {
+		t.Errorf("FramesSent = %d, want %d", st.FramesSent, total)
+	}
+	if st.BytesSent != bytes {
+		t.Errorf("BytesSent = %d, want %d", st.BytesSent, bytes)
+	}
+
+	col.wait(t, total)
+	frames, _ := col.snapshot()
+	want := []string{"first", "first", "second", "third", "third", "third"}
+	for i, w := range want {
+		if frames[i] != w {
+			t.Errorf("delivery %d = %q, want %q", i, frames[i], w)
+		}
+	}
+}

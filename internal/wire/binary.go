@@ -333,6 +333,14 @@ func deltaSize(d *KnowledgeDelta) int {
 // frames (version-1 frames imply cadence 1); the epoch uvarint only in
 // version-3 frames (earlier versions imply epoch 0).
 func appendDelta(b []byte, d *KnowledgeDelta, ver byte) []byte {
+	return appendSnapshot(appendDeltaHeader(b, d, ver), d.Snap)
+}
+
+// appendDeltaHeader writes the delta's version bookkeeping without its
+// record section, so the shared-cut fast path (AppendDeltaFrame) can
+// splice a snapshot section that was encoded once for a whole group of
+// neighbors.
+func appendDeltaHeader(b []byte, d *KnowledgeDelta, ver byte) []byte {
 	b = binary.AppendUvarint(b, d.Since)
 	b = binary.AppendUvarint(b, d.Ver)
 	b = binary.AppendUvarint(b, d.Ack)
@@ -342,7 +350,7 @@ func appendDelta(b []byte, d *KnowledgeDelta, ver byte) []byte {
 	if ver >= version3 {
 		b = binary.AppendUvarint(b, d.Epoch)
 	}
-	return appendSnapshot(b, d.Snap)
+	return b
 }
 
 func (r *reader) delta(ver byte) *KnowledgeDelta {
@@ -506,34 +514,63 @@ func (r *reader) membership() *Membership {
 // Frames
 // ---------------------------------------------------------------------------
 
-func encodeBinary(f *Frame) ([]byte, error) {
+// frameVersion picks the wire version a frame encodes as. The rule is
+// always "oldest layout that can carry the payload", so static-cluster
+// frames stay byte-identical to v1/v2 peers (the golden interop test
+// pins this).
+func frameVersion(f *Frame) byte {
+	switch f.Kind {
+	case FrameHeartbeat:
+	case FrameData:
+		if f.Data.Epoch > 0 {
+			// Only a grown/shrunk cluster needs the epoch fence; static
+			// clusters stay byte-identical to v1 peers.
+			return version3
+		}
+	case FrameKnowledgeDelta:
+		return deltaVersion(f.Delta)
+	case FrameJoin, FrameLeave:
+		// Membership kinds exist only since v3; no older layout to match.
+		return version3
+	}
+	return version
+}
+
+// deltaVersion is frameVersion for the delta payload alone, shared with
+// the pre-encoded-section fast path (AppendDeltaFrame).
+func deltaVersion(d *KnowledgeDelta) byte {
+	if d.Epoch > 0 {
+		return version3
+	}
+	if d.Cadence > 1 {
+		// Only a stretched cadence needs the v2 layout; the classic
+		// one-frame-per-δ delta stays byte-identical to v1 peers.
+		return version2
+	}
+	return version
+}
+
+// frameSize over-estimates the encoded size of a validated frame, for
+// pre-sizing fresh buffers.
+func frameSize(f *Frame) int {
 	size := headerSize
-	ver := byte(version)
 	switch f.Kind {
 	case FrameHeartbeat:
 		size += snapshotSize(f.Heartbeat)
 	case FrameData:
 		size += dataSize(f.Data) + binary.MaxVarintLen64
-		if f.Data.Epoch > 0 {
-			// Only a grown/shrunk cluster needs the epoch fence; static
-			// clusters stay byte-identical to v1 peers.
-			ver = version3
-		}
 	case FrameKnowledgeDelta:
 		size += deltaSize(f.Delta)
-		if f.Delta.Epoch > 0 {
-			ver = version3
-		} else if f.Delta.Cadence > 1 {
-			// Only a stretched cadence needs the v2 layout; the classic
-			// one-frame-per-δ delta stays byte-identical to v1 peers.
-			ver = version2
-		}
 	case FrameJoin, FrameLeave:
-		// Membership kinds exist only since v3; no older layout to match.
 		size += membershipSize(f.Member)
-		ver = version3
 	}
-	b := make([]byte, 0, size)
+	return size
+}
+
+// appendFrameBytes appends the full encoding (header + payload) of a
+// validated frame to b. It allocates nothing beyond growing b.
+func appendFrameBytes(b []byte, f *Frame) []byte {
+	ver := frameVersion(f)
 	b = append(b, magic, ver, byte(f.Kind))
 	switch f.Kind {
 	case FrameHeartbeat:
@@ -545,7 +582,11 @@ func encodeBinary(f *Frame) ([]byte, error) {
 	case FrameJoin, FrameLeave:
 		b = appendMembership(b, f.Member)
 	}
-	return b, nil
+	return b
+}
+
+func encodeBinary(f *Frame) ([]byte, error) {
+	return appendFrameBytes(make([]byte, 0, frameSize(f)), f), nil
 }
 
 func decodeBinary(b []byte, borrow bool) (*Frame, error) {
