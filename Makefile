@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-smoke
+.PHONY: all build test race lint fmt bench bench-smoke scenarios
 
 all: build test lint
 
@@ -46,3 +46,10 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_broadcast.json < bench-broadcast.txt
 	@rm -f bench-broadcast.txt
 	@echo "wrote BENCH_broadcast.json"
+
+# scenarios runs the adversarial scenario matrix at full period budgets
+# and rewrites the committed SCENARIOS.json (deterministic scenarios
+# reproduce it bit-for-bit at the default seed). CI runs the same
+# binary with -short budgets and uploads its report as an artifact.
+scenarios:
+	$(GO) run ./cmd/scenariomatrix -o SCENARIOS.json

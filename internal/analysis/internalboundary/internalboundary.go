@@ -1,8 +1,8 @@
 // Package internalboundary enforces the repository's API boundary: the
 // algorithmic engine lives under internal/ and is reachable from outside
 // only through the sanctioned facade packages (the root adaptivecast
-// package, sim and experiments). Every other package in the module —
-// cmd/, examples/, and anything added later — must build against the
+// package, sim, experiments and scenario). Every other package in the
+// module — cmd/, examples/, and anything added later — must build against the
 // facades alone, so the public surface stays the only contract and the
 // engine remains free to refactor (PR 1 established the split; this
 // analyzer machine-enforces it).
@@ -16,11 +16,11 @@ import (
 )
 
 // DefaultFacades are the packages sanctioned to import internal/ — the
-// facade layer that re-exports the engine (the module root package, sim
-// and experiments) plus the lint driver itself, which links the analyzer
+// facade layer that re-exports the engine (the module root package, sim,
+// experiments and scenario) plus the lint driver itself, which links the analyzer
 // packages but never the runtime engine. Paths are module-relative (""
 // is the module root package).
-var DefaultFacades = []string{"", "sim", "experiments", "cmd/adaptivelint"}
+var DefaultFacades = []string{"", "sim", "experiments", "scenario", "cmd/adaptivelint"}
 
 // New builds the analyzer with an explicit facade allowlist
 // (module-relative paths; "" sanctions the module root package).

@@ -1,0 +1,170 @@
+package broadcast
+
+import (
+	"testing"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/sim"
+	"adaptivecast/internal/topology"
+)
+
+// churnRunner builds a small twin cluster used by the churn tests.
+func churnRunner(t *testing.T, n int, loss float64, seed int64, sink func(topology.NodeID, Delivery)) (*Runner, *sim.Network) {
+	t.Helper()
+	g, err := topology.Ring(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Uniform(g, 0, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.NewNetwork(sim.NewEngine(seed), cfg, sim.Options{DisableCrashSampling: true})
+	r, err := NewRunner(net, RunnerOptions{Delta: 1}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, net
+}
+
+func TestRunnerGrowJoinsTheCluster(t *testing.T) {
+	delivered := make(map[topology.NodeID]int)
+	r, net := churnRunner(t, 4, 0, 1, func(id topology.NodeID, _ Delivery) {
+		delivered[id]++
+	})
+	eng := net.Engine()
+	r.Start()
+	eng.RunUntil(5.5)
+
+	id, err := r.Grow([]topology.NodeID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Fatalf("new node id = %d, want 4", id)
+	}
+	if net.Graph().NumLinks() != 6 {
+		t.Fatalf("links = %d, want 6", net.Graph().NumLinks())
+	}
+	// The twin's layers must have grown in lockstep.
+	if got := len(net.Config().Graph().Neighbors(id)); got != 2 {
+		t.Fatalf("joiner degree = %d, want 2", got)
+	}
+
+	// Let knowledge spread, then broadcast from the joiner: everyone
+	// (including the joiner itself) must deliver.
+	eng.RunUntil(30.5)
+	if _, _, err := r.Proc(id).Broadcast([]byte("from joiner")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(40.5)
+	r.Stop()
+	eng.Run()
+	for i := 0; i < 5; i++ {
+		if delivered[topology.NodeID(i)] == 0 {
+			t.Errorf("node %d missed the joiner's broadcast", i)
+		}
+	}
+	// And the grown cluster converges to the grown ground truth.
+	if !r.AllConverged(knowledge.DefaultCriterion) {
+		t.Error("grown cluster did not converge")
+	}
+}
+
+func TestRunnerMarkDepartedRemovesNode(t *testing.T) {
+	delivered := make(map[topology.NodeID]int)
+	r, net := churnRunner(t, 5, 0, 2, func(id topology.NodeID, _ Delivery) {
+		delivered[id]++
+	})
+	eng := net.Engine()
+	r.Start()
+	eng.RunUntil(10.5)
+
+	// Departing node 1 leaves a ring gap: 0—2 are no longer connected
+	// through 1, but the ring's other arc still spans the survivors.
+	if err := r.MarkDeparted(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkDeparted(1); err == nil {
+		t.Fatal("double departure accepted")
+	}
+	if net.Graph().Active(1) {
+		t.Fatal("graph still lists departed node as active")
+	}
+	if got := net.Graph().NumLinks(); got != 3 {
+		t.Fatalf("links after departure = %d, want 3", got)
+	}
+	// Config loss slice must have shrunk in lockstep (swap-removal).
+	if got := len(net.Config().Graph().Links()); got != 3 {
+		t.Fatalf("config graph links = %d, want 3", got)
+	}
+
+	// Survivors' views tombstone the departed member...
+	for _, i := range []topology.NodeID{0, 2, 3, 4} {
+		if !r.Views()[i].Departed(1) {
+			t.Errorf("view %d has not tombstoned node 1", i)
+		}
+	}
+
+	// ...knowledge reconverges to the shrunken truth, and broadcasts
+	// still reach every survivor.
+	eng.RunUntil(40.5)
+	if _, _, err := r.Proc(0).Broadcast([]byte("survivors")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(50.5)
+	r.Stop()
+	eng.Run()
+	for _, i := range []topology.NodeID{0, 2, 3, 4} {
+		if delivered[i] == 0 {
+			t.Errorf("survivor %d missed the broadcast", i)
+		}
+	}
+	if delivered[1] != 0 {
+		t.Errorf("departed node delivered %d broadcasts", delivered[1])
+	}
+	if !r.AllConverged(knowledge.DefaultCriterion) {
+		t.Error("survivors did not reconverge after departure")
+	}
+}
+
+func TestRunnerClockSkewStillDelivers(t *testing.T) {
+	g, err := topology.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.New(g)
+	net := sim.NewNetwork(sim.NewEngine(3), cfg, sim.Options{DisableCrashSampling: true})
+	delivered := make(map[topology.NodeID]int)
+	r, err := NewRunner(net, RunnerOptions{
+		Delta: 1,
+		// Node 2 runs 60% slow; node 0 slightly fast.
+		ClockSkew: []float64{0.9, 1, 1.6, 1},
+	}, func(id topology.NodeID, _ Delivery) { delivered[id]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := net.Engine()
+	r.Start()
+	eng.RunUntil(30.5)
+	if r.Periods() != 30 {
+		t.Fatalf("nominal periods = %d, want 30", r.Periods())
+	}
+	// The slow node sent fewer heartbeats than the nominal schedule: 30
+	// nominal periods at skew 1.6 is 18-19 private periods × 2 neighbors.
+	if hb := net.Stats().Sent(sim.KindHeartbeat); hb >= 30*8 {
+		t.Fatalf("heartbeats = %d, expected fewer than the nominal 240", hb)
+	}
+	if _, _, err := r.Proc(2).Broadcast([]byte("from slow node")); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(40.5)
+	r.Stop()
+	eng.Run()
+	for i := 0; i < 4; i++ {
+		if delivered[topology.NodeID(i)] == 0 {
+			t.Errorf("node %d missed the slow node's broadcast", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"math/rand"
+
+	"adaptivecast/internal/topology"
+)
+
+// FaultModel injects adversarial link behavior beyond the paper's uniform
+// per-link loss. The network consults it once per transmission, after the
+// ground-truth config loss sampling: a model may drop the message and/or
+// add extra delivery delay. Implementations draw all randomness from the
+// rng they are handed (the engine's seeded source), so seeded runs stay
+// reproducible.
+type FaultModel interface {
+	Transmit(now Time, from, to topology.NodeID, rng *rand.Rand) (drop bool, extraDelay Time)
+}
+
+// DirectedLink keys per-direction fault state: from→to and to→from are
+// independent, which is exactly what the undirected config loss cannot
+// express.
+type DirectedLink struct {
+	From, To topology.NodeID
+}
+
+// AsymmetricLoss drops each transmission on a directed link with its own
+// probability, independent of the reverse direction. Links absent from
+// the map are unaffected.
+type AsymmetricLoss map[DirectedLink]float64
+
+// Transmit implements FaultModel.
+func (a AsymmetricLoss) Transmit(_ Time, from, to topology.NodeID, rng *rand.Rand) (bool, Time) {
+	p := a[DirectedLink{from, to}]
+	if p <= 0 {
+		return false, 0
+	}
+	return rng.Float64() < p, 0
+}
+
+// GilbertElliott is the classic two-state burst-loss chain: each directed
+// link is either Good or Bad, flips state with the configured
+// probabilities on every transmission it carries, and drops with the
+// loss rate of its current state. Time-correlated loss is the regime the
+// paper's independent-Bernoulli math explicitly does not model, which is
+// what makes it a scenario worth pinning.
+type GilbertElliott struct {
+	GoodToBad float64 // P(Good→Bad) per transmission
+	BadToGood float64 // P(Bad→Good) per transmission
+	LossGood  float64 // drop probability while Good (often 0)
+	LossBad   float64 // drop probability while Bad (often near 1)
+
+	bad map[DirectedLink]bool
+}
+
+// NewGilbertElliott returns a chain with every link starting Good.
+func NewGilbertElliott(goodToBad, badToGood, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{
+		GoodToBad: goodToBad,
+		BadToGood: badToGood,
+		LossGood:  lossGood,
+		LossBad:   lossBad,
+		bad:       make(map[DirectedLink]bool),
+	}
+}
+
+// Transmit implements FaultModel: advance the link's chain one step, then
+// sample loss at the new state's rate.
+func (g *GilbertElliott) Transmit(_ Time, from, to topology.NodeID, rng *rand.Rand) (bool, Time) {
+	d := DirectedLink{from, to}
+	if g.bad[d] {
+		if rng.Float64() < g.BadToGood {
+			delete(g.bad, d)
+		}
+	} else if rng.Float64() < g.GoodToBad {
+		g.bad[d] = true
+	}
+	p := g.LossGood
+	if g.bad[d] {
+		p = g.LossBad
+	}
+	if p <= 0 {
+		return false, 0
+	}
+	return rng.Float64() < p, 0
+}
+
+// Jitter adds a uniform extra delay in [0, Max) to every delivery — a
+// crude WAN model that reorders messages relative to the fixed per-hop
+// latency the twin otherwise assumes.
+type Jitter struct {
+	Max Time
+}
+
+// Transmit implements FaultModel.
+func (j Jitter) Transmit(_ Time, _, _ topology.NodeID, rng *rand.Rand) (bool, Time) {
+	if j.Max <= 0 {
+		return false, 0
+	}
+	return false, Time(rng.Float64()) * j.Max
+}
+
+// Partition severs cross-group traffic during [From, Until) and then
+// heals. Unlisted nodes form their own implicit group, so a single-group
+// partition isolates that group from the rest.
+type Partition struct {
+	From, Until Time
+	groups      map[topology.NodeID]int
+}
+
+// NewPartition builds a healing partition over the given groups.
+func NewPartition(from, until Time, groups ...[]topology.NodeID) *Partition {
+	p := &Partition{From: from, Until: until, groups: make(map[topology.NodeID]int)}
+	for g, members := range groups {
+		for _, id := range members {
+			p.groups[id] = g
+		}
+	}
+	return p
+}
+
+// Transmit implements FaultModel.
+func (p *Partition) Transmit(now Time, from, to topology.NodeID, _ *rand.Rand) (bool, Time) {
+	if now < p.From || now >= p.Until {
+		return false, 0
+	}
+	gf, okf := p.groups[from]
+	if !okf {
+		gf = -1
+	}
+	gt, okt := p.groups[to]
+	if !okt {
+		gt = -1
+	}
+	return gf != gt, 0
+}
+
+// LinkFlap takes the (undirected) link A—B down for DownFor out of every
+// Period, starting at Start — a link that keeps dying and coming back,
+// faster than a partition but slower than loss.
+type LinkFlap struct {
+	A, B    topology.NodeID
+	Start   Time
+	Period  Time
+	DownFor Time
+}
+
+// Transmit implements FaultModel.
+func (l LinkFlap) Transmit(now Time, from, to topology.NodeID, _ *rand.Rand) (bool, Time) {
+	onLink := (from == l.A && to == l.B) || (from == l.B && to == l.A)
+	if !onLink || now < l.Start || l.Period <= 0 {
+		return false, 0
+	}
+	elapsed := now - l.Start
+	phase := elapsed - Time(int(elapsed/l.Period))*l.Period
+	return phase < l.DownFor, 0
+}
+
+// Compose chains fault models: every model sees every transmission (so
+// stateful chains keep advancing even when an earlier model drops), the
+// drops OR together and the extra delays add.
+type Compose []FaultModel
+
+// Transmit implements FaultModel.
+func (c Compose) Transmit(now Time, from, to topology.NodeID, rng *rand.Rand) (bool, Time) {
+	drop := false
+	var extra Time
+	for _, m := range c {
+		d, e := m.Transmit(now, from, to, rng)
+		drop = drop || d
+		extra += e
+	}
+	return drop, extra
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivecast/internal/config"
+	"adaptivecast/internal/topology"
+)
+
+// lineNet builds a 3-node line network (links 0—1, 1—2) with no config
+// loss or crash, so every drop observed is the fault model's doing.
+func lineNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	g, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Uniform(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewNetwork(NewEngine(seed), cfg, Options{Latency: 1})
+}
+
+func countDeliveries(t *testing.T, n *Network, fm FaultModel, from, to topology.NodeID, sends int) int {
+	t.Helper()
+	n.SetFaultModel(fm)
+	got := 0
+	if err := n.Register(to, ProcessFunc(func(topology.NodeID, Message) { got++ })); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(from, ProcessFunc(func(topology.NodeID, Message) {})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sends; i++ {
+		if err := n.Send(from, to, Message{Kind: KindData, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Engine().Run()
+	return got
+}
+
+func TestAsymmetricLossIsDirectional(t *testing.T) {
+	n := lineNet(t, 1)
+	fm := AsymmetricLoss{{From: 0, To: 1}: 1.0}
+	got := 0
+	_ = n.Register(0, ProcessFunc(func(topology.NodeID, Message) { got++ }))
+	_ = n.Register(1, ProcessFunc(func(topology.NodeID, Message) { got++ }))
+	n.SetFaultModel(fm)
+	for i := 0; i < 10; i++ {
+		_ = n.Send(0, 1, Message{Kind: KindData, Size: 1})
+		_ = n.Send(1, 0, Message{Kind: KindData, Size: 1})
+	}
+	n.Engine().Run()
+	if got != 10 {
+		t.Fatalf("delivered %d, want 10 (reverse direction only)", got)
+	}
+	if fd := n.Stats().FaultDrops(); fd != 10 {
+		t.Fatalf("FaultDrops = %d, want 10", fd)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// A chain pinned in the Bad state (GoodToBad=1, BadToGood=0) with
+	// LossBad=1 drops everything after the first transition.
+	n := lineNet(t, 1)
+	ge := NewGilbertElliott(1, 0, 0, 1)
+	if got := countDeliveries(t, n, ge, 0, 1, 50); got != 0 {
+		t.Fatalf("pinned-bad chain delivered %d", got)
+	}
+	// Statistical sanity on a mid-range chain: observed loss should land
+	// near the stationary expectation pi_bad*LossBad, and well above the
+	// Good state's zero loss (bursts exist).
+	n2 := lineNet(t, 7)
+	ge2 := NewGilbertElliott(0.1, 0.3, 0, 0.9)
+	got := countDeliveries(t, n2, ge2, 0, 1, 2000)
+	lossRate := 1 - float64(got)/2000
+	// stationary bad fraction = 0.1/(0.1+0.3) = 0.25 → expected loss 0.225
+	if lossRate < 0.1 || lossRate > 0.35 {
+		t.Fatalf("burst loss rate %v implausible for GE(0.1,0.3,0,0.9)", lossRate)
+	}
+}
+
+func TestPartitionHealsAndFlapRecovers(t *testing.T) {
+	n := lineNet(t, 1)
+	part := NewPartition(0, 10, []topology.NodeID{0}, []topology.NodeID{1, 2})
+	var times []Time
+	_ = n.Register(1, ProcessFunc(func(topology.NodeID, Message) {
+		times = append(times, n.Engine().Now())
+	}))
+	n.SetFaultModel(part)
+	for i := 0; i < 20; i++ {
+		delay := Time(i) // send at t=0..19 via scheduled sends
+		i := i
+		n.Engine().Schedule(delay, func() {
+			_ = n.Send(0, 1, Message{Kind: KindData, Size: 1})
+			_ = i
+		})
+	}
+	n.Engine().Run()
+	for _, at := range times {
+		// Latency 1: anything delivered must have been sent at t >= 10.
+		if at < 11 {
+			t.Fatalf("delivery at t=%v crossed the live partition", at)
+		}
+	}
+	if len(times) != 10 {
+		t.Fatalf("post-heal deliveries = %d, want 10", len(times))
+	}
+
+	flap := LinkFlap{A: 0, B: 1, Start: 0, Period: 4, DownFor: 2}
+	drops := 0
+	for now := Time(0); now < 8; now++ {
+		if d, _ := flap.Transmit(now+0.5, 0, 1, nil); d {
+			drops++
+		}
+	}
+	if drops != 4 {
+		t.Fatalf("flap dropped %d of 8 slots, want 4", drops)
+	}
+	if d, _ := flap.Transmit(2.5, 2, 1, nil); d {
+		t.Fatal("flap dropped traffic on an unrelated link")
+	}
+}
+
+func TestComposeAndJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Compose{
+		Jitter{Max: 2},
+		AsymmetricLoss{{From: 0, To: 1}: 1.0},
+	}
+	drop, extra := c.Transmit(0, 0, 1, rng)
+	if !drop {
+		t.Fatal("composed model lost the AsymmetricLoss drop")
+	}
+	if extra < 0 || extra >= 2 {
+		t.Fatalf("jitter %v outside [0,2)", extra)
+	}
+	drop, _ = c.Transmit(0, 1, 0, rng)
+	if drop {
+		t.Fatal("composed model dropped the clean direction")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() (int, int) {
+		n := lineNet(t, 42)
+		ge := NewGilbertElliott(0.1, 0.3, 0.01, 0.9)
+		got := countDeliveries(t, n, Compose{ge, Jitter{Max: 0.5}}, 0, 1, 500)
+		return got, n.Stats().FaultDrops()
+	}
+	g1, f1 := run()
+	g2, f2 := run()
+	if g1 != g2 || f1 != f2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", g1, f1, g2, f2)
+	}
+}

@@ -73,13 +73,14 @@ type Options struct {
 // probabilistic failure model to every transmission and maintains the
 // message statistics the experiments report.
 type Network struct {
-	eng   *Engine
-	graph *topology.Graph
-	cfg   *config.Config
-	opts  Options
-	procs []Process
-	down  []bool // explicit crash state (failure injection)
-	stats Stats
+	eng    *Engine
+	graph  *topology.Graph
+	cfg    *config.Config
+	opts   Options
+	procs  []Process
+	down   []bool // explicit crash state (failure injection)
+	faults FaultModel
+	stats  Stats
 }
 
 // NewNetwork builds a network over g with ground-truth failure
@@ -108,6 +109,11 @@ func (n *Network) Config() *config.Config { return n.cfg }
 
 // Stats returns the live statistics collector.
 func (n *Network) Stats() *Stats { return &n.stats }
+
+// SetFaultModel installs (or, with nil, removes) the adversarial fault
+// model consulted on every transmission, layered on top of the
+// ground-truth config loss.
+func (n *Network) SetFaultModel(m FaultModel) { n.faults = m }
 
 // Register attaches p as the protocol endpoint of process id.
 func (n *Network) Register(id topology.NodeID, p Process) error {
@@ -141,7 +147,16 @@ func (n *Network) Send(from, to topology.NodeID, msg Message) error {
 		n.stats.recordLoss(linkIdx)
 		return nil // the link lost the message
 	}
-	n.eng.Schedule(n.opts.Latency, func() {
+	delay := n.opts.Latency
+	if n.faults != nil {
+		drop, extra := n.faults.Transmit(n.eng.Now(), from, to, rng)
+		if drop {
+			n.stats.recordFaultDrop(linkIdx)
+			return nil // the adversary ate the message
+		}
+		delay += extra
+	}
+	n.eng.Schedule(delay, func() {
 		if n.down[to] {
 			return
 		}
@@ -182,3 +197,24 @@ func (n *Network) Recover(id topology.NodeID) { n.down[id] = false }
 
 // Up reports whether a process is not explicitly crashed.
 func (n *Network) Up(id topology.NodeID) bool { return !n.down[id] }
+
+// Grow resizes the per-process and per-link state to match the graph
+// after nodes/links were added (churn in the twin). New processes start
+// unregistered and up; new links start with zeroed counters. Callers
+// must have grown the config first (config.Grow) so the loss slice is
+// aligned.
+func (n *Network) Grow() {
+	for len(n.procs) < n.graph.NumNodes() {
+		n.procs = append(n.procs, nil)
+		n.down = append(n.down, false)
+	}
+	n.stats.grow(n.graph.NumLinks())
+}
+
+// RemoveLinkAt mirrors a topology.Graph swap-removal on the per-link
+// statistics, keeping dense link indices aligned with the graph. Call it
+// with the removedIdx the graph returned, immediately after the graph
+// mutation (the same contract as config.RemoveLinkAt).
+func (n *Network) RemoveLinkAt(removedIdx int) {
+	n.stats.removeLinkAt(removedIdx)
+}

@@ -12,6 +12,7 @@ type Stats struct {
 	lostPerLink []int
 	delivered   int
 	totalSent   int
+	faultDrops  int
 }
 
 func newStats(g *topology.Graph) Stats {
@@ -32,6 +33,37 @@ func (s *Stats) recordSend(linkIdx int, msg Message) {
 
 func (s *Stats) recordLoss(linkIdx int)    { s.lostPerLink[linkIdx]++ }
 func (s *Stats) recordDeliver(linkIdx int) { s.delivered++ }
+
+// recordFaultDrop books a message eaten by the adversarial fault model —
+// separate from the config loss, so scenarios can tell "the paper's loss
+// model" apart from "the injected hostility". The per-link lost counter
+// still advances: from the estimator's point of view both are the link
+// dropping a message.
+func (s *Stats) recordFaultDrop(linkIdx int) {
+	s.lostPerLink[linkIdx]++
+	s.faultDrops++
+}
+
+// FaultDrops returns how many transmissions the fault model ate.
+func (s *Stats) FaultDrops() int { return s.faultDrops }
+
+// grow extends the per-link counters to nLinks (new links start at zero).
+func (s *Stats) grow(nLinks int) {
+	for len(s.sentPerLink) < nLinks {
+		s.sentPerLink = append(s.sentPerLink, 0)
+		s.lostPerLink = append(s.lostPerLink, 0)
+	}
+}
+
+// removeLinkAt mirrors a graph swap-removal: the last link's counters
+// move into the removed slot and the slices shrink by one.
+func (s *Stats) removeLinkAt(removedIdx int) {
+	last := len(s.sentPerLink) - 1
+	s.sentPerLink[removedIdx] = s.sentPerLink[last]
+	s.sentPerLink = s.sentPerLink[:last]
+	s.lostPerLink[removedIdx] = s.lostPerLink[last]
+	s.lostPerLink = s.lostPerLink[:last]
+}
 
 // TotalSent returns the number of messages sent across all kinds.
 func (s *Stats) TotalSent() int { return s.totalSent }
@@ -71,4 +103,5 @@ func (s *Stats) Reset() {
 	}
 	s.delivered = 0
 	s.totalSent = 0
+	s.faultDrops = 0
 }

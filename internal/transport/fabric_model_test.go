@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"adaptivecast/internal/topology"
+)
+
+func TestFabricAsymmetricLoss(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	colA, colB := newCollector(), newCollector()
+	a.SetHandler(colA.handler)
+	b.SetHandler(colB.handler)
+
+	// 0→1 is dead, 1→0 is perfect: the directions are independent.
+	if err := f.SetLinkModel(0, 1, LinkModel{Loss: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, []byte("fwd")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(0, []byte("rev")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	colA.wait(t, 20)
+	frames, _ := colB.snapshot()
+	if len(frames) != 0 {
+		t.Fatalf("0→1 at loss 1.0 delivered %d frames", len(frames))
+	}
+	st := f.Stats()
+	if st.Lost != 20 {
+		t.Fatalf("Lost = %d, want 20", st.Lost)
+	}
+}
+
+func TestFabricSetLossSharesModelPath(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	// SetLinkModel first, then legacy SetLoss: loss updates both
+	// directions but must not clobber the latency already configured.
+	if err := f.SetLinkModel(0, 1, LinkModel{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetLoss(0, 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	fwd := f.LinkModelFor(0, 1)
+	rev := f.LinkModelFor(1, 0)
+	if fwd.Loss != 0.25 || rev.Loss != 0.25 {
+		t.Fatalf("SetLoss not applied to both directions: fwd=%v rev=%v", fwd.Loss, rev.Loss)
+	}
+	if fwd.Latency != time.Millisecond {
+		t.Fatalf("SetLoss clobbered the directional latency: %v", fwd.Latency)
+	}
+	if err := f.SetLoss(0, 1, 1.5); err == nil {
+		t.Fatal("SetLoss accepted out-of-range probability")
+	}
+	if err := f.SetLinkModel(0, 1, LinkModel{Loss: -0.1}); err == nil {
+		t.Fatal("SetLinkModel accepted negative loss")
+	}
+}
+
+func TestFabricPartitionAndHeal(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	eps := make([]Transport, 4)
+	cols := make([]*collector, 4)
+	for i := range eps {
+		eps[i] = f.Endpoint(topology.NodeID(i))
+		cols[i] = newCollector()
+		eps[i].SetHandler(cols[i].handler)
+	}
+
+	f.SetPartition([]topology.NodeID{0, 1}, []topology.NodeID{2, 3})
+	if err := eps[0].Send(2, []byte("cross")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, []byte("same")); err != nil {
+		t.Fatal(err)
+	}
+	cols[1].wait(t, 1)
+	if got, _ := cols[2].snapshot(); len(got) != 0 {
+		t.Fatalf("partition leaked %d cross-group frames", len(got))
+	}
+	if st := f.Stats(); st.FaultDrops != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", st.FaultDrops)
+	}
+
+	// A listed node is also severed from unlisted ones.
+	f.SetPartition([]topology.NodeID{3})
+	if err := eps[0].Send(3, []byte("to-isolated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, []byte("unlisted-pair")); err != nil {
+		t.Fatal(err)
+	}
+	cols[1].wait(t, 1)
+	if got, _ := cols[3].snapshot(); len(got) != 0 {
+		t.Fatalf("isolated node received %d frames", len(got))
+	}
+
+	// Heal: everything flows again.
+	f.SetPartition()
+	if err := eps[0].Send(2, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	cols[2].wait(t, 1)
+}
+
+func TestFabricLinkFlap(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	f.SetLinkDown(0, 1, true)
+	if err := a.Send(1, []byte("down")); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.FaultDrops != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", st.FaultDrops)
+	}
+	f.SetLinkDown(0, 1, false)
+	if err := a.Send(1, []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	frames, _ := col.snapshot()
+	if len(frames) != 1 || frames[0] != "up" {
+		t.Fatalf("after flap up, got frames %v", frames)
+	}
+	// The down flag survives round trips through SetLoss.
+	f.SetLinkDown(0, 1, true)
+	if err := f.SetLoss(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m := f.LinkModelFor(0, 1); !m.Down || m.Loss != 0.5 {
+		t.Fatalf("SetLoss clobbered Down: %+v", m)
+	}
+}
+
+func TestFabricDirectionalLatencyAndJitter(t *testing.T) {
+	f := NewFabric(FabricOptions{})
+	defer func() { _ = f.Close() }()
+	a := f.Endpoint(0)
+	b := f.Endpoint(1)
+	col := newCollector()
+	b.SetHandler(col.handler)
+
+	err := f.SetLinkModel(0, 1, LinkModel{Latency: 2 * time.Millisecond, Jitter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := a.Send(1, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 1)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("delivery beat the modeled latency: %v", elapsed)
+	}
+	// Batched sends ride the same delayed path.
+	bs := a.(MultiFrameSender)
+	if err := bs.SendFrames(1, []FrameBatch{{Frame: []byte("x"), Copies: 1}, {Frame: []byte("y"), Copies: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 3)
+}

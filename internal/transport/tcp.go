@@ -28,6 +28,11 @@ type TCPOptions struct {
 	DialTimeout time.Duration
 	// QueueSize is the inbound dispatch buffer (default 1024).
 	QueueSize int
+	// Dial, when non-nil, replaces net.DialTimeout for outbound
+	// connections. Fault-injection tests use it to wrap the returned
+	// net.Conn (e.g. a lossy conn that discards whole writes); production
+	// code leaves it nil.
+	Dial func(network, address string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -248,7 +253,11 @@ func (t *TCP) connTo(to topology.NodeID) (*tcpConn, error) {
 		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
 
-	raw, err := net.DialTimeout("tcp", addr, t.opts.DialTimeout)
+	dial := t.opts.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	raw, err := dial("tcp", addr, t.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %d (%s): %w", to, addr, err)
 	}

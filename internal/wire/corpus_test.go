@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
 )
 
@@ -80,26 +78,36 @@ func TestWriteSeedCorpus(t *testing.T) {
 	}
 }
 
-// corpusBytes extracts the []byte value from a go-fuzz corpus file.
-func corpusBytes(content string) ([]byte, bool) {
-	lines := strings.Split(content, "\n")
-	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
-		return nil, false
+// TestCorpusSeedsMatchDisk pins the embedded corpus (what the
+// byzantine-replay scenario feeds a live cluster) to the on-disk files a
+// fuzz run reads: same count, same bytes, every seed decodable.
+func TestCorpusSeedsMatchDisk(t *testing.T) {
+	seeds, err := CorpusSeeds()
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, line := range lines[1:] {
-		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "[]byte(")
-		if !ok {
-			continue
-		}
-		lit, ok := strings.CutSuffix(rest, ")")
-		if !ok {
-			continue
-		}
-		s, err := strconv.Unquote(lit)
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != len(entries) {
+		t.Fatalf("embedded %d seeds, disk has %d", len(seeds), len(entries))
+	}
+	for _, s := range seeds {
+		raw, err := os.ReadFile(filepath.Join(dir, s.Name))
 		if err != nil {
-			return nil, false
+			t.Fatal(err)
 		}
-		return []byte(s), true
+		b, ok := corpusBytes(string(raw))
+		if !ok {
+			t.Fatalf("%s: unparseable on disk", s.Name)
+		}
+		if string(b) != string(s.Data) {
+			t.Errorf("%s: embedded bytes differ from disk", s.Name)
+		}
+		if _, err := Decode(s.Data); err != nil {
+			t.Errorf("%s: embedded seed does not decode: %v", s.Name, err)
+		}
 	}
-	return nil, false
 }

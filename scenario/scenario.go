@@ -1,0 +1,37 @@
+// Package scenario is the public facade over the adversarial scenario
+// matrix: a fixed catalog of named hostile network conditions —
+// correlated burst loss, asymmetric links, healing partitions, flapping
+// links, skewed clocks, churn under loss, a byzantine peer replaying the
+// fuzz corpus — each with a machine-checked acceptance predicate. Tools
+// (cmd/scenariomatrix) and external users run the matrix through this
+// import path; the checked-in SCENARIOS.json and the CI scenarios job
+// are produced from exactly these entry points.
+package scenario
+
+import (
+	iscenario "adaptivecast/internal/scenario"
+)
+
+// Re-exported scenario types.
+type (
+	// Figures are the measured outcomes of one scenario run.
+	Figures = iscenario.Figures
+	// Scenario is one named hostile condition with its acceptance
+	// predicate.
+	Scenario = iscenario.Scenario
+	// Result is one scenario execution with its verdict.
+	Result = iscenario.Result
+)
+
+// Matrix returns every scenario, sorted by name.
+func Matrix() []Scenario { return iscenario.Matrix() }
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, error) { return iscenario.ByName(name) }
+
+// Run executes one scenario with the given seed and checks its
+// acceptance predicate. short trims period budgets for CI.
+func Run(s Scenario, seed int64, short bool) Result { return iscenario.Run(s, seed, short) }
+
+// RunAll executes the whole matrix with one seed.
+func RunAll(seed int64, short bool) []Result { return iscenario.RunAll(seed, short) }
