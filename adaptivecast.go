@@ -67,8 +67,8 @@ type (
 	Delivery = node.Delivery
 	// NodeStats are per-node protocol counters.
 	NodeStats = node.Stats
-	// LaneDrops counts outbound frames shed per lane by the optional
-	// lane scheduler (NodeStats.LaneDrops; see WithLaneScheduler).
+	// LaneDrops counts outbound frames shed per lane by the lane
+	// scheduler (NodeStats.LaneDrops; see WithLaneScheduler).
 	LaneDrops = node.LaneDrops
 )
 

@@ -898,7 +898,7 @@ func BenchmarkBroadcastSustained(b *testing.B) {
 				b.Fatal(err)
 			}
 			c := benchConvergeGraph(b, g, func(cfg *adaptivecast.ClusterConfig) {
-				cfg.LaneScheduler = mode.lanes
+				cfg.DisableLaneScheduler = !mode.lanes
 				cfg.LaneQueueDepth = 1 << 15
 				cfg.AggregationWindow = mode.window
 				cfg.SendCost = 32 << 10
@@ -1017,12 +1017,12 @@ func BenchmarkForwardPipelined(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			sink := newPipeSink(1)
 			nd, err := node.New(node.Config{
-				ID:             1,
-				NumProcs:       procs,
-				Neighbors:      []topology.NodeID{0},
-				LaneScheduler:  mode.lanes,
-				LaneQueueDepth: 1 << 15,
-				DeliveryBuffer: 1, // deliveries overflow silently; not under test
+				ID:                   1,
+				NumProcs:             procs,
+				Neighbors:            []topology.NodeID{0},
+				DisableLaneScheduler: !mode.lanes,
+				LaneQueueDepth:       1 << 15,
+				DeliveryBuffer:       1, // deliveries overflow silently; not under test
 			}, sink)
 			if err != nil {
 				b.Fatal(err)

@@ -47,15 +47,16 @@ type ClusterConfig struct {
 	// HeartbeatEvery on any change (see WithAdaptiveCadence). Requires
 	// delta heartbeats (i.e. DisableDeltaHeartbeats unset).
 	AdaptiveCadence time.Duration
-	// LaneScheduler routes every node's outbound frames through the
-	// prioritized per-peer lane scheduler (see WithLaneScheduler).
-	LaneScheduler bool
-	// LaneQueueDepth bounds each peer's data lane when LaneScheduler is
-	// set (see WithLaneQueueDepth; default 256).
+	// DisableLaneScheduler reverts every node's sends to synchronous
+	// transport calls instead of the prioritized per-peer lane scheduler
+	// that runs by default (see WithLaneScheduler).
+	DisableLaneScheduler bool
+	// LaneQueueDepth bounds each peer's data lane (see
+	// WithLaneQueueDepth; default 256).
 	LaneQueueDepth int
 	// AggregationWindow coalesces same-peer data frames queued within
-	// this window into one transport flush when LaneScheduler is set
-	// (see WithAggregationWindow; default 0, flush immediately).
+	// this window into one transport flush (see WithAggregationWindow;
+	// default 0, flush immediately).
 	AggregationWindow time.Duration
 }
 
@@ -135,14 +136,14 @@ func (c *Cluster) nodeOptions() []Option {
 	if cfg.AdaptiveCadence > 0 {
 		opts = append(opts, WithAdaptiveCadence(cfg.AdaptiveCadence))
 	}
-	if cfg.LaneScheduler {
-		opts = append(opts, WithLaneScheduler())
-		if cfg.LaneQueueDepth > 0 {
-			opts = append(opts, WithLaneQueueDepth(cfg.LaneQueueDepth))
-		}
-		if cfg.AggregationWindow > 0 {
-			opts = append(opts, WithAggregationWindow(cfg.AggregationWindow))
-		}
+	if cfg.DisableLaneScheduler {
+		opts = append(opts, WithLaneScheduler(false))
+	}
+	if cfg.LaneQueueDepth > 0 {
+		opts = append(opts, WithLaneQueueDepth(cfg.LaneQueueDepth))
+	}
+	if cfg.AggregationWindow > 0 {
+		opts = append(opts, WithAggregationWindow(cfg.AggregationWindow))
 	}
 	return opts
 }

@@ -4,24 +4,23 @@
 //
 //	go run ./cmd/adaptivelint ./...
 //
-// It applies five analyzers, each machine-enforcing an invariant earlier
-// PRs could only state in prose:
+// The suite lives in internal/analysis/registry — run with -list for
+// the authoritative roster, each analyzer's bug class and the directive
+// grammar it consumes. In short: atomicfields, lockorder, wirekind,
+// epochfence and internalboundary machine-enforce the invariants PRs
+// 2–6 introduced (atomics on hot counters, the lock hierarchy, wire
+// corpus/version coherence, epoch fencing, the internal/ import
+// boundary); chanowner, buflife and goroleak cover the concurrent
+// datapath's ownership and lifecycle contracts (who sends/closes each
+// channel, pooled buffers released exactly once and never read after
+// release, every goroutine tied to a stop signal it provably observes).
 //
-//	atomicfields     — atomic-designated struct fields are only touched
-//	                   through sync/atomic (the lock-split node's counters,
-//	                   epoch, sequencer and lease)
-//	lockorder        — locks are acquired in the declared rank order and
-//	                   the view lock is never held across transport calls
-//	wirekind         — every FrameKind×wire-version pair has a fuzz seed,
-//	                   FrameKind switches stay exhaustive, and varint-sized
-//	                   allocations are clamped
-//	epochfence       — dispatch cases for epoch-bearing frame kinds call
-//	                   the epoch gate before merging any frame state
-//	internalboundary — only the sanctioned facades import internal/
-//
-// Exit status is 1 when any finding survives (suppressions need an
-// inline //adaptivelint:ignore <analyzer> -- <reason> justification),
-// 2 on usage or load errors.
+// -sarif <file> additionally writes the findings as a SARIF 2.1.0 log
+// (rules populated from the registry metadata) so CI can surface them
+// as GitHub code-scanning annotations; the plain-text output and exit
+// status are unchanged. Exit status is 1 when any finding survives
+// (suppressions need an inline //adaptivelint:ignore <analyzer> --
+// <reason> justification), 2 on usage or load errors.
 package main
 
 import (
@@ -30,31 +29,28 @@ import (
 	"os"
 
 	"adaptivecast/internal/analysis"
-	"adaptivecast/internal/analysis/atomicfields"
-	"adaptivecast/internal/analysis/epochfence"
-	"adaptivecast/internal/analysis/internalboundary"
-	"adaptivecast/internal/analysis/lockorder"
-	"adaptivecast/internal/analysis/wirekind"
+	"adaptivecast/internal/analysis/registry"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	list := flag.Bool("list", false, "list the analyzers, their bug classes and directives, then exit")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: adaptivelint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: adaptivelint [-list] [-sarif file] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers := []*analysis.Analyzer{
-		atomicfields.Analyzer,
-		lockorder.Analyzer,
-		wirekind.Analyzer,
-		epochfence.Analyzer,
-		internalboundary.Analyzer,
-	}
+	analyzers := registry.All()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			if a.BugClass != "" {
+				fmt.Printf("%-18s   prevents: %s\n", "", a.BugClass)
+			}
+			for _, d := range a.Directives {
+				fmt.Printf("%-18s   directive: %s\n", "", d)
+			}
 		}
 		return
 	}
@@ -68,7 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adaptivelint:", err)
 		os.Exit(2)
 	}
-	findings := 0
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, analyzers)
 		if err != nil {
@@ -77,11 +73,35 @@ func main() {
 		}
 		for _, d := range diags {
 			fmt.Println(d)
-			findings++
+		}
+		all = append(all, diags...)
+	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, analyzers, all); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptivelint:", err)
+			os.Exit(2)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "adaptivelint: %d finding(s)\n", findings)
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "adaptivelint: %d finding(s)\n", len(all))
 		os.Exit(1)
 	}
+}
+
+// writeSARIF writes the log with URIs relative to the working directory
+// (the repo root in CI), which is what upload-sarif expects.
+func writeSARIF(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, analyzers, diags, root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -38,6 +38,12 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// BugClass names the class of bug the analyzer prevents, for
+	// -list output, SARIF rule metadata and the docs table.
+	BugClass string
+	// Directives lists the //adaptivelint: directive forms the
+	// analyzer consumes, if any (grammar only, for -list and docs).
+	Directives []string
 	// Run executes the check over one package.
 	Run func(*Pass) error
 }
@@ -226,16 +232,33 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pos:      pkg.Fset.Position(ig.pos),
 				Message:  fmt.Sprintf("ignore directive for %q lacks a justification (use: //adaptivelint:ignore %s -- reason)", ig.analyzer, ig.analyzer),
 			})
-		case !used[i] && hasAnalyzer(analyzers, ig.analyzer):
+		case !hasAnalyzer(analyzers, ig.analyzer):
+			// A typo'd analyzer name would otherwise suppress nothing
+			// *silently* — the worst failure mode for a suppression.
 			out = append(out, Diagnostic{
 				Analyzer: "adaptivelint",
 				Pos:      pkg.Fset.Position(ig.pos),
-				Message:  fmt.Sprintf("stale ignore directive: %s reports nothing here", ig.analyzer),
+				Message:  fmt.Sprintf("ignore directive names unknown analyzer %q (known: %s)", ig.analyzer, strings.Join(analyzerNames(analyzers), ", ")),
+			})
+		case !used[i]:
+			out = append(out, Diagnostic{
+				Analyzer: "adaptivelint",
+				Pos:      pkg.Fset.Position(ig.pos),
+				Message:  fmt.Sprintf("stale ignore directive: %s reports nothing on this line", ig.analyzer),
 			})
 		}
 	}
 	sortDiagnostics(out)
 	return out, nil
+}
+
+func analyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
 }
 
 func hasAnalyzer(analyzers []*Analyzer, name string) bool {

@@ -29,9 +29,11 @@ import (
 
 // Analyzer flags non-atomic access to atomic-designated struct fields.
 var Analyzer = &analysis.Analyzer{
-	Name: "atomicfields",
-	Doc:  "fields of sync/atomic type (and fields tagged //adaptivelint:atomic) may only be accessed through sync/atomic operations",
-	Run:  run,
+	Name:       "atomicfields",
+	Doc:        "fields of sync/atomic type (and fields tagged //adaptivelint:atomic) may only be accessed through sync/atomic operations",
+	BugClass:   "torn reads and lost updates on lock-free counters",
+	Directives: []string{"//adaptivelint:atomic"},
+	Run:        run,
 }
 
 // fieldClass records how a field is allowed to be used.

@@ -13,10 +13,11 @@ func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", atomicfields.Analyzer, "a", "example.com/m")
 }
 
-// TestSuppressions checks the three ignore-directive outcomes over
+// TestSuppressions checks the four ignore-directive outcomes over
 // package b: a justified ignore suppresses, an unjustified one is
-// reported alongside the original finding, and a stale one is reported
-// on its own.
+// reported alongside the original finding, a stale one is reported on
+// its own, and one naming an analyzer outside the run set is reported
+// as unknown with the known names listed.
 func TestSuppressions(t *testing.T) {
 	pkg, err := analysistest.Load("testdata", "b", "example.com/m")
 	if err != nil {
@@ -26,7 +27,7 @@ func TestSuppressions(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	var finding, missingReason, stale int
+	var finding, missingReason, stale, unknown int
 	for _, d := range diags {
 		switch {
 		case d.Analyzer == "atomicfields":
@@ -35,14 +36,19 @@ func TestSuppressions(t *testing.T) {
 			missingReason++
 		case strings.Contains(d.Message, "stale ignore directive"):
 			stale++
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown++
+			if !strings.Contains(d.Message, "atomicfields") {
+				t.Errorf("unknown-analyzer finding does not list the known names: %s", d)
+			}
 		default:
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
 	// The justified ignore in reset() must have silenced its finding, so
 	// the only surviving atomicfields finding is the unjustified one.
-	if finding != 1 || missingReason != 1 || stale != 1 {
-		t.Errorf("got %d findings / %d missing-justification / %d stale, want 1/1/1; all: %v",
-			finding, missingReason, stale, diags)
+	if finding != 1 || missingReason != 1 || stale != 1 || unknown != 1 {
+		t.Errorf("got %d findings / %d missing-justification / %d stale / %d unknown, want 1/1/1/1; all: %v",
+			finding, missingReason, stale, unknown, diags)
 	}
 }

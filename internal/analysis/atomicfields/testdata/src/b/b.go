@@ -1,9 +1,11 @@
 // Package b exercises the runner's suppression contract around
 // atomicfields findings: a justified ignore silences its finding, an
 // unjustified ignore leaves the finding alive and is reported itself,
-// and a justified ignore that matches nothing is reported as stale.
-// The expectations live in the test, not in want comments, because the
-// ignore directive occupies the line's comment slot.
+// a justified ignore that matches nothing is reported as stale, and an
+// ignore naming an analyzer outside the run set is reported as unknown
+// (the typo'd-suppression failure mode). The expectations live in the
+// test, not in want comments, because the ignore directive occupies the
+// line's comment slot.
 package b
 
 import "sync/atomic"
@@ -24,4 +26,9 @@ func unjustified(g *gauge) int64 {
 //adaptivelint:ignore atomicfields -- nothing here actually trips the analyzer
 func stale(g *gauge) {
 	atomic.StoreInt64(&g.v, 5)
+}
+
+//adaptivelint:ignore atomicfeilds -- misspelled analyzer suppresses nothing
+func typo(g *gauge) int64 {
+	return atomic.LoadInt64(&g.v)
 }

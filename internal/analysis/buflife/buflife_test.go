@@ -1,0 +1,20 @@
+package buflife_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/buflife"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", buflife.Analyzer, "a", "example.com/m")
+}
+
+// TestNotOptedIn: no bufpool/bufshared directives, no tracking.
+func TestNotOptedIn(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", buflife.Analyzer, "b", "example.com/m")
+	if len(diags) != 0 {
+		t.Fatalf("undeclared package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,14 @@
+// Package b declares no pools; nothing is tracked and everything stays
+// silent, leaks included (per-package opt-in).
+package b
+
+type buf struct{ b []byte }
+
+type pool struct{}
+
+func (p *pool) get() *buf   { return &buf{} }
+func (p *pool) put(eb *buf) {}
+
+func leakButUndeclared(p *pool) {
+	_ = p.get()
+}

@@ -1,0 +1,21 @@
+package chanowner_test
+
+import (
+	"testing"
+
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/chanowner"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", chanowner.Analyzer, "a", "example.com/m")
+}
+
+// TestNotOptedIn: a package with channel fields but no chan directives
+// declares no ownership and produces nothing.
+func TestNotOptedIn(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", chanowner.Analyzer, "b", "example.com/m")
+	if len(diags) != 0 {
+		t.Fatalf("undeclared package produced diagnostics: %v", diags)
+	}
+}

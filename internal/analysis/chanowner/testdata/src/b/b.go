@@ -1,0 +1,15 @@
+// Package b has channel fields but no chan directives; ownership is
+// not declared here, so everything stays silent (per-package opt-in).
+package b
+
+type pipe struct {
+	ch chan int
+}
+
+func anyoneSends(p *pipe, v int) {
+	p.ch <- v
+}
+
+func anyoneCloses(p *pipe) {
+	close(p.ch)
+}

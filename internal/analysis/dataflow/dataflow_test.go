@@ -1,0 +1,70 @@
+package dataflow
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func newVar(name string) *types.Var {
+	return types.NewVar(token.NoPos, nil, name, types.Typ[types.Int])
+}
+
+// TestMergeConservative: the merge keeps an obligation only when both
+// paths agree on its state; mixed or one-sided obligations vanish so no
+// later check can fire on them.
+func TestMergeConservative(t *testing.T) {
+	agreed, mixed, oneSided := newVar("agreed"), newVar("mixed"), newVar("oneSided")
+
+	a := NewFlow()
+	a.Add(agreed, "buffer", 1, 0)
+	a.Add(mixed, "buffer", 2, 0)
+	a.Add(oneSided, "buffer", 3, 0)
+
+	b := NewFlow()
+	b.Add(agreed, "buffer", 1, 0)
+	b.Add(mixed, "buffer", 2, 0)
+	b.Get(mixed).State = Released
+
+	a.Merge(b)
+	if ob := a.Get(agreed); ob == nil || ob.State != Live {
+		t.Fatalf("agreed obligation lost or mutated: %+v", ob)
+	}
+	if a.Get(mixed) != nil {
+		t.Fatal("mixed-state obligation survived the merge")
+	}
+	if a.Get(oneSided) != nil {
+		t.Fatal("one-sided obligation survived the merge")
+	}
+}
+
+// TestCloneIsolated: mutating a cloned flow must not leak into the
+// original (branch scanning depends on it).
+func TestCloneIsolated(t *testing.T) {
+	v := newVar("v")
+	f := NewFlow()
+	f.Add(v, "buffer", 1, 0)
+	c := f.Clone()
+	c.Get(v).State = Released
+	c.Add(newVar("w"), "buffer", 2, 1)
+	if f.Get(v).State != Live {
+		t.Fatal("clone mutation reached the original flow")
+	}
+	if got := len(f.Obligations()); got != 1 {
+		t.Fatalf("original flow has %d obligations, want 1", got)
+	}
+}
+
+// TestReAddReArms: a fresh Add on a released variable re-arms it Live
+// (the released-then-reacquired pattern must read as a new obligation).
+func TestReAddReArms(t *testing.T) {
+	v := newVar("v")
+	f := NewFlow()
+	f.Add(v, "buffer", 1, 0)
+	f.Get(v).State = Released
+	f.Add(v, "buffer", 5, 2)
+	ob := f.Get(v)
+	if ob.State != Live || ob.Pos != 5 || ob.Depth != 2 {
+		t.Fatalf("re-armed obligation wrong: %+v", ob)
+	}
+}

@@ -1,0 +1,272 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Client receives the walker's events. Hooks fire in execution order as
+// far as a single linear scan can approximate it: for each statement,
+// identifier reads and inner calls first, then the enclosing call or
+// assignment hook.
+type Client interface {
+	// Use fires for every identifier read (not for the plain target of
+	// an assignment, and not for selector field/method names).
+	Use(id *ast.Ident, f *Flow)
+	// Call fires for every call expression after its arguments were
+	// scanned.
+	Call(call *ast.CallExpr, f *Flow)
+	// Assign fires for every assignment or short variable declaration
+	// after its right-hand side was scanned.
+	Assign(as *ast.AssignStmt, f *Flow)
+	// FuncLit fires for every function literal; the walker does not
+	// descend into the body — the client decides how to scan it (a
+	// fresh scope, usually) and whether outer obligations escape.
+	FuncLit(lit *ast.FuncLit, f *Flow)
+	// Defer fires for every defer statement's call instead of the
+	// normal expression scan: the call runs at function exit, outside
+	// the linear model, so the client decides its effect (typically
+	// discharging obligations handed to it). Literals under the call
+	// still reach FuncLit.
+	Defer(call *ast.CallExpr, f *Flow)
+	// Return fires for each return statement after its results were
+	// scanned and before Exit, so a client can treat returned values as
+	// ownership transfers to the caller.
+	Return(results []ast.Expr, f *Flow)
+	// Exit fires where control leaves the function — at each return and
+	// when the body falls off the end — with that path's final flow.
+	Exit(pos token.Pos, f *Flow)
+	// LoopExit fires where one loop iteration's path ends (end of the
+	// body, continue, break). bodyDepth is the nesting depth of the
+	// iterating body; obligations acquired at that depth or deeper
+	// belong to the iteration and must already be discharged.
+	LoopExit(pos token.Pos, f *Flow, bodyDepth int)
+}
+
+// Walker drives a Client over one function body.
+type Walker struct {
+	Client Client
+	depth  int
+}
+
+// Depth is the current loop-nesting depth, for Flow.Add.
+func (w *Walker) Depth() int { return w.depth }
+
+// Walk scans a function body. The Exit hook fires for every path out of
+// the function, including falling off the end.
+func (w *Walker) Walk(body *ast.BlockStmt, f *Flow) {
+	if !w.scanStmts(body.List, f) {
+		w.Client.Exit(body.Rbrace, f)
+	}
+}
+
+// scanStmts processes a statement list in source order, mutating f, and
+// reports whether the list definitely ends the current path.
+func (w *Walker) scanStmts(stmts []ast.Stmt, f *Flow) (terminates bool) {
+	for _, stmt := range stmts {
+		if w.scanStmt(stmt, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Walker) scanStmt(stmt ast.Stmt, f *Flow) (terminates bool) {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.scanStmts(st.List, f)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init, f)
+		}
+		w.scanExpr(st.Cond, f)
+		bodyFlow := f.Clone()
+		bodyTerm := w.scanStmts(st.Body.List, bodyFlow)
+		elseFlow := f.Clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = w.scanStmt(st.Else, elseFlow)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			f.obs = elseFlow.obs
+		case elseTerm:
+			f.obs = bodyFlow.obs
+		default:
+			bodyFlow.Merge(elseFlow)
+			f.obs = bodyFlow.obs
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init, f)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond, f)
+		}
+		w.scanLoopBody(st.Body, st.Post, f)
+		return false
+	case *ast.RangeStmt:
+		w.scanExpr(st.X, f)
+		w.scanLoopBody(st.Body, nil, f)
+		return false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init, f)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag, f)
+		}
+		w.scanCases(st.Body.List, f)
+		return false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init, f)
+		}
+		w.scanStmt(st.Assign, f)
+		w.scanCases(st.Body.List, f)
+		return false
+	case *ast.SelectStmt:
+		w.scanCases(st.Body.List, f)
+		return false
+	case *ast.DeferStmt:
+		// The deferred call runs at function exit; its effect is the
+		// client's to model. Only its function literals are scanned.
+		ast.Inspect(st.Call, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				w.Client.FuncLit(fl, f)
+				return false
+			}
+			return true
+		})
+		w.Client.Defer(st.Call, f)
+		return false
+	case *ast.GoStmt:
+		// The spawned call's arguments are evaluated here; a tracked
+		// value handed to it transfers ownership via the Call hook.
+		w.scanExpr(st.Call, f)
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.scanExpr(r, f)
+		}
+		w.Client.Return(st.Results, f)
+		w.Client.Exit(st.Pos(), f)
+		return true
+	case *ast.BranchStmt:
+		// continue/break end the iteration's path; goto ends linear
+		// modeling. All are treated as path exits so nothing merges.
+		if (st.Tok == token.CONTINUE || st.Tok == token.BREAK) && w.depth > 0 {
+			w.Client.LoopExit(st.Pos(), f, w.depth)
+		}
+		return true
+	case *ast.LabeledStmt:
+		return w.scanStmt(st.Stmt, f)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.scanExpr(r, f)
+		}
+		for _, l := range st.Lhs {
+			if _, plain := l.(*ast.Ident); !plain {
+				// eb.b = x or m[k] = x reads eb / m, k.
+				w.scanExpr(l, f)
+			}
+		}
+		w.Client.Assign(st, f)
+		return false
+	case nil:
+		return false
+	default:
+		w.scanExprIn(stmt, f)
+		return false
+	}
+}
+
+// scanLoopBody isolates one loop body on a cloned flow at depth+1,
+// checks the back-edge as a path exit for iteration-scoped obligations,
+// and merges the body's effect on outer obligations conservatively (the
+// loop may run zero times).
+func (w *Walker) scanLoopBody(body *ast.BlockStmt, post ast.Stmt, f *Flow) {
+	inner := f.Clone()
+	w.depth++
+	term := w.scanStmts(body.List, inner)
+	if post != nil {
+		w.scanStmt(post, inner)
+	}
+	if !term {
+		w.Client.LoopExit(body.Rbrace, inner, w.depth)
+	}
+	w.depth--
+	f.Merge(inner)
+}
+
+// scanCases processes switch/select clause bodies on cloned flows and
+// merges the falling-through clauses conservatively.
+func (w *Walker) scanCases(clauses []ast.Stmt, f *Flow) {
+	var merged *Flow
+	for _, clause := range clauses {
+		var body []ast.Stmt
+		h := f.Clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, f)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.scanStmt(c.Comm, h)
+			}
+			body = c.Body
+		}
+		if !w.scanStmts(body, h) {
+			if merged == nil {
+				merged = h
+			} else {
+				merged.Merge(h)
+			}
+		}
+	}
+	if merged != nil {
+		// The no-clause-taken path (switch without default) also falls
+		// through with the entry state.
+		merged.Merge(f)
+		f.obs = merged.obs
+	}
+}
+
+// scanExprIn walks the expressions of a statement without dedicated
+// structural handling.
+func (w *Walker) scanExprIn(n ast.Node, f *Flow) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch c := child.(type) {
+		case *ast.FuncLit:
+			w.Client.FuncLit(c, f)
+			return false
+		case *ast.SelectorExpr:
+			// Scan only the receiver; the selected name is not a value
+			// read of a local.
+			w.scanExpr(c.X, f)
+			return false
+		case *ast.CallExpr:
+			w.scanExpr(c.Fun, f)
+			for _, arg := range c.Args {
+				w.scanExpr(arg, f)
+			}
+			w.Client.Call(c, f)
+			return false
+		case *ast.Ident:
+			w.Client.Use(c, f)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *Walker) scanExpr(e ast.Expr, f *Flow) {
+	if e != nil {
+		w.scanExprIn(e, f)
+	}
+}

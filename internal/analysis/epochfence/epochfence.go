@@ -36,9 +36,11 @@ const kindTypeName = "FrameKind"
 
 // Analyzer enforces epoch gating in FrameKind dispatch switches.
 var Analyzer = &analysis.Analyzer{
-	Name: "epochfence",
-	Doc:  "every dispatch case for an epoch-bearing frame kind must call the epoch gate before processing the frame",
-	Run:  run,
+	Name:       "epochfence",
+	Doc:        "every dispatch case for an epoch-bearing frame kind must call the epoch gate before processing the frame",
+	BugClass:   "stale-epoch frames merged into live membership state",
+	Directives: []string{"//adaptivelint:epochfence kinds=<Kind,...> gate=<func>"},
+	Run:        run,
 }
 
 // config is one parsed epochfence directive.

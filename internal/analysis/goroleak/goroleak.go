@@ -1,0 +1,273 @@
+// Package goroleak ties every goroutine launch to a declared stop
+// lifecycle, so Close/Stop can never strand a worker. A package opts in
+// with a package-level directive (next to its other lint declarations):
+//
+//	//adaptivelint:goroutines checked
+//
+// Every `go` statement in an opted-in package must then carry, on its
+// line or the line above:
+//
+//	//adaptivelint:goroutine stop=<path>
+//
+// where <path> names the signal the launched body observes, by its
+// final component:
+//
+//   - a channel field or variable ("stop=t.stop", "stop=wake"): the
+//     body must contain a receive from it (`<-t.stop`, a select comm
+//     clause included);
+//   - a context ("stop=ctx"): the body must receive from `<-ctx.Done()`;
+//   - a bool field ("stop=t.closed"): the body must contain an if
+//     statement reading it whose block returns — the pattern for loops
+//     bounded by a blocking call that Close unblocks (listener Accept),
+//     where no select is possible.
+//
+// The launched function must be resolvable in-package (a declared
+// function/method or a function literal); the analyzer scans its body
+// for the matching observation and reports launches whose declared stop
+// signal is never observed, launches with no declaration at all, and
+// goroutine directives attached to no launch (stale declarations rot
+// just like stale suppressions).
+//
+// The proof is syntactic and intraprocedural: a body that delegates its
+// stop handling to a helper needs the helper inlined or the declaration
+// moved to where the signal is actually observed. As everywhere in this
+// suite, false negatives are acceptable, false positives fail CI.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/dataflow"
+)
+
+// Analyzer checks declared goroutine lifecycles.
+var Analyzer = &analysis.Analyzer{
+	Name:     "goroleak",
+	Doc:      "in a goroutines-checked package, every go statement declares its stop signal and the launched body provably observes it",
+	BugClass: "goroutines stranded past Close (leaked workers, sends on closed transports)",
+	Directives: []string{
+		"//adaptivelint:goroutines checked",
+		"//adaptivelint:goroutine stop=<field-path|ctx>",
+	},
+	Run: run,
+}
+
+// decl is one parsed goroutine directive.
+type decl struct {
+	stop string // the raw stop= path
+	file string
+	line int
+	pos  token.Pos
+	used bool
+}
+
+func run(pass *analysis.Pass) error {
+	optedIn := false
+	var decls []*decl
+	for _, d := range pass.Directives() {
+		switch d.Verb {
+		case "goroutines":
+			if strings.TrimSpace(d.Args) == "checked" {
+				optedIn = true
+			}
+		case "goroutine":
+			p := pass.Fset.Position(d.Pos)
+			dd := &decl{file: p.Filename, line: p.Line, pos: d.Pos}
+			for _, f := range strings.Fields(d.Args) {
+				if v, ok := strings.CutPrefix(f, "stop="); ok {
+					dd.stop = v
+				}
+			}
+			decls = append(decls, dd)
+		}
+	}
+	if !optedIn {
+		return nil
+	}
+
+	funcs := dataflow.DeclaredFuncs(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, st, decls, funcs)
+			return true
+		})
+	}
+	for _, dd := range decls {
+		if !dd.used {
+			pass.Report(dd.pos, "goroutine directive attached to no go statement")
+		}
+	}
+	return nil
+}
+
+// declFor finds the directive on the go statement's line or the line
+// above it, in the same file.
+func declFor(pass *analysis.Pass, st *ast.GoStmt, decls []*decl) *decl {
+	p := pass.Fset.Position(st.Pos())
+	for _, dd := range decls {
+		if dd.file == p.Filename && (dd.line == p.Line || dd.line == p.Line-1) {
+			return dd
+		}
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, st *ast.GoStmt, decls []*decl, funcs map[*types.Func]*ast.FuncDecl) {
+	dd := declFor(pass, st, decls)
+	if dd == nil {
+		pass.Report(st.Pos(), "go statement without a declared lifecycle; add //adaptivelint:goroutine stop=<field-path|ctx> naming the signal the goroutine observes")
+		return
+	}
+	dd.used = true
+	if dd.stop == "" {
+		pass.Report(dd.pos, "malformed goroutine directive: want stop=<field-path|ctx>")
+		return
+	}
+	body := launchedBody(pass, st, funcs)
+	if body == nil {
+		pass.Reportf(st.Pos(), "cannot resolve the launched function; goroleak can only verify same-package functions and literals")
+		return
+	}
+	parts := strings.Split(dd.stop, ".")
+	name := parts[len(parts)-1]
+	if !observesStop(pass, body, name) {
+		pass.Reportf(st.Pos(), "goroutine body never observes its declared stop signal %q; it would be stranded after Close", dd.stop)
+	}
+}
+
+// launchedBody resolves the body the go statement runs: a function
+// literal in place, or a function/method declared in this package.
+func launchedBody(pass *analysis.Pass, st *ast.GoStmt, funcs map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := st.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := funcs[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := funcs[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// observesStop reports whether the body contains one of the accepted
+// observation shapes for the stop signal's final name component.
+func observesStop(pass *analysis.Pass, body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op != token.ARROW {
+				return true
+			}
+			// <-x.stop / <-stop over a channel.
+			if terminalName(e.X) == name && isChan(pass, e.X) {
+				found = true
+				return false
+			}
+			// <-ctx.Done().
+			if call, ok := e.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Done" && terminalName(sel.X) == name {
+					found = true
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			// if x.closed { ...; return } over a bool.
+			if condReadsBool(pass, e.Cond, name) && blockReturns(e.Body) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// terminalName is the final identifier of an expression path: x → "x",
+// a.b.c → "c", (f()) → "".
+func terminalName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return terminalName(x.X)
+	}
+	return ""
+}
+
+func isChan(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isBool(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// condReadsBool reports whether the condition reads a bool value whose
+// terminal name matches.
+func condReadsBool(pass *analysis.Pass, cond ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if terminalName(e) == name && isBool(pass, e) {
+				found = true
+				return false
+			}
+		}
+		// Don't descend into a selector's Sel ident separately.
+		_, isSel := e.(*ast.SelectorExpr)
+		return !isSel
+	})
+	return found
+}
+
+func blockReturns(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

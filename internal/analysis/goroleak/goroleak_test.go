@@ -1,0 +1,40 @@
+package goroleak_test
+
+import (
+	"strings"
+	"testing"
+
+	"adaptivecast/internal/analysis"
+	"adaptivecast/internal/analysis/analysistest"
+	"adaptivecast/internal/analysis/goroleak"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "a", "example.com/m")
+}
+
+// TestNotOptedIn: packages without //adaptivelint:goroutines checked
+// are out of scope entirely.
+func TestNotOptedIn(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", goroleak.Analyzer, "b", "example.com/m")
+	if len(diags) != 0 {
+		t.Fatalf("non-opted-in package produced diagnostics: %v", diags)
+	}
+}
+
+// TestStaleDirective: a goroutine directive attached to no go statement
+// is reported (asserted directly; the directive occupies its line's
+// comment slot, so no want comment can sit there).
+func TestStaleDirective(t *testing.T) {
+	pkg, err := analysistest.Load("testdata", "c", "example.com/m")
+	if err != nil {
+		t.Fatalf("load c: %v", err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{goroleak.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "attached to no go statement") {
+		t.Fatalf("got %v, want exactly one stale-directive finding", diags)
+	}
+}

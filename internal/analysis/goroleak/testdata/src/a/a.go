@@ -1,0 +1,93 @@
+// Package a seeds goroleak's caught violations and its
+// correctly-silent near-misses.
+//
+//adaptivelint:goroutines checked
+package a
+
+import "context"
+
+type worker struct {
+	stop   chan struct{}
+	wake   chan struct{}
+	closed bool
+}
+
+// loopGood observes w.stop through a select comm clause.
+func (w *worker) loopGood() {
+	for {
+		select {
+		case <-w.wake:
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// loopDeaf spins without ever observing any stop signal.
+func (w *worker) loopDeaf() {
+	for {
+		select {
+		case <-w.wake:
+		}
+	}
+}
+
+func startGood(w *worker) {
+	//adaptivelint:goroutine stop=w.stop
+	go w.loopGood()
+}
+
+func startDeaf(w *worker) {
+	//adaptivelint:goroutine stop=w.stop
+	go w.loopDeaf() // want `goroutine body never observes its declared stop signal "w.stop"`
+}
+
+func startUnannotated(w *worker) {
+	go w.loopGood() // want `go statement without a declared lifecycle`
+}
+
+// startCtx is the near-miss that must stay silent: a ctx-derived stop
+// is a declared lifecycle even though no channel field is named.
+func startCtx(ctx context.Context) {
+	//adaptivelint:goroutine stop=ctx
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// startBounded is the accept-loop shape: no select is possible around a
+// blocking call, so the loop re-checks a bool that Close sets before
+// unblocking the call.
+func startBounded(w *worker) {
+	//adaptivelint:goroutine stop=w.closed
+	go func() {
+		for {
+			blockUntilWork(w)
+			if w.closed {
+				return
+			}
+		}
+	}()
+}
+
+// startDirectReceive covers the bare `<-` receive outside a select.
+func startDirectReceive(w *worker) {
+	//adaptivelint:goroutine stop=w.stop
+	go func() {
+		<-w.stop
+	}()
+}
+
+// startUnresolvable launches something goroleak cannot see the body of;
+// the declaration alone is not proof, so it reports.
+func startUnresolvable(ctx context.Context, f func()) {
+	//adaptivelint:goroutine stop=ctx
+	go f() // want `cannot resolve the launched function`
+}
+
+func blockUntilWork(w *worker) {}

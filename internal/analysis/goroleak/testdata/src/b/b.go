@@ -1,0 +1,10 @@
+// Package b never opts in with //adaptivelint:goroutines checked, so
+// its unannotated launches are out of scope and stay silent.
+package b
+
+func start(ch chan struct{}) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

@@ -1,0 +1,15 @@
+// Package c carries a goroutine directive attached to no go statement;
+// the stale declaration is reported (checked by the test directly —
+// a want comment cannot share the directive's comment slot).
+//
+//adaptivelint:goroutines checked
+package c
+
+type worker struct {
+	stop chan struct{}
+}
+
+//adaptivelint:goroutine stop=w.stop
+func notALaunch(w *worker) {
+	<-w.stop
+}

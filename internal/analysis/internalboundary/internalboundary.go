@@ -30,8 +30,9 @@ func New(facades ...string) *analysis.Analyzer {
 		set[f] = true
 	}
 	return &analysis.Analyzer{
-		Name: "internalboundary",
-		Doc:  "public packages, cmd/ and examples/ must not import internal/ packages directly; only the sanctioned facades may",
+		Name:     "internalboundary",
+		Doc:      "public packages, cmd/ and examples/ must not import internal/ packages directly; only the sanctioned facades may",
+		BugClass: "internal APIs leaking into the public surface",
 		Run: func(pass *analysis.Pass) error {
 			run(pass, set)
 			return nil

@@ -41,9 +41,15 @@ import (
 
 // Analyzer checks declared lock hierarchies.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockorder",
-	Doc:  "locks must be acquired in the declared rank order, and noblockingcalls locks must not be held across calls into blocking packages",
-	Run:  run,
+	Name:     "lockorder",
+	Doc:      "locks must be acquired in the declared rank order, and noblockingcalls locks must not be held across calls into blocking packages",
+	BugClass: "lock-order deadlocks; slow peers backpressuring the view lock",
+	Directives: []string{
+		"//adaptivelint:lockrank Type.field=<rank> ...",
+		"//adaptivelint:noblockingcalls Type.field ...",
+		"//adaptivelint:blockingpkg <import-path> ...",
+	},
+	Run: run,
 }
 
 // lockDecl is one declared lock.

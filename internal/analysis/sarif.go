@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning ingests:
+// one run, one tool, a rule per analyzer, a result per finding. The
+// writer is deliberately schema-shaped structs rather than a vendored
+// SARIF library — the suite stays stdlib-only.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string         `json:"id"`
+	ShortDescription sarifText      `json:"shortDescription"`
+	FullDescription  *sarifText     `json:"fullDescription,omitempty"`
+	Properties       map[string]any `json:"properties,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log. root, when
+// non-empty, is stripped from file paths so the URIs are
+// repository-relative (what GitHub's upload-sarif action expects). The
+// rule table covers every analyzer plus the runner's own
+// suppression-audit findings (ruleId "adaptivelint").
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		r := sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		}
+		if a.BugClass != "" {
+			r.Properties = map[string]any{"bugClass": a.BugClass}
+		}
+		if len(a.Directives) > 0 {
+			if r.Properties == nil {
+				r.Properties = map[string]any{}
+			}
+			r.Properties["directives"] = a.Directives
+		}
+		rules = append(rules, r)
+	}
+	index["adaptivelint"] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               "adaptivelint",
+		ShortDescription: sarifText{Text: "suppression audit: every //adaptivelint:ignore must be justified, match a real finding and name a known analyzer"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		uri = filepath.ToSlash(uri)
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			// A diagnostic from an analyzer outside the rule table
+			// still round-trips; GitHub treats ruleIndex as a hint.
+			idx = index["adaptivelint"]
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "adaptivelint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

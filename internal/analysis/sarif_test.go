@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteSARIF: the log round-trips as JSON with a rule per analyzer
+// (plus the suppression-audit pseudo-rule), repo-relative forward-slash
+// URIs, and results indexed into the rule table.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "alpha", Doc: "alpha doc", BugClass: "alpha bugs", Directives: []string{"//adaptivelint:alpha"}},
+		{Name: "beta", Doc: "beta doc"},
+	}
+	diags := []Diagnostic{
+		{Analyzer: "alpha", Pos: token.Position{Filename: "/repo/pkg/a.go", Line: 7, Column: 3}, Message: "bad"},
+		{Analyzer: "adaptivelint", Pos: token.Position{Filename: "/repo/pkg/b.go", Line: 1, Column: 1}, Message: "stale"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, diags, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "adaptivelint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 3 {
+		t.Fatalf("got %d rules, want 3 (alpha, beta, adaptivelint)", len(run.Tool.Driver.Rules))
+	}
+	if got := run.Tool.Driver.Rules[2].ID; got != "adaptivelint" {
+		t.Errorf("last rule %q, want the adaptivelint audit rule", got)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "alpha" || first.RuleIndex != 0 {
+		t.Errorf("first result rule %q index %d", first.RuleID, first.RuleIndex)
+	}
+	uri := first.Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if uri != "pkg/a.go" || strings.Contains(uri, "\\") {
+		t.Errorf("URI %q, want repo-relative forward-slash path", uri)
+	}
+	if got := first.Locations[0].PhysicalLocation.Region.StartLine; got != 7 {
+		t.Errorf("start line %d, want 7", got)
+	}
+	if second := run.Results[1]; second.RuleIndex != 2 {
+		t.Errorf("audit finding indexed at %d, want the adaptivelint rule (2)", second.RuleIndex)
+	}
+}

@@ -11,11 +11,8 @@ import (
 
 	"adaptivecast/internal/analysis"
 	"adaptivecast/internal/analysis/analysistest"
-	"adaptivecast/internal/analysis/atomicfields"
-	"adaptivecast/internal/analysis/epochfence"
 	"adaptivecast/internal/analysis/internalboundary"
-	"adaptivecast/internal/analysis/lockorder"
-	"adaptivecast/internal/analysis/wirekind"
+	"adaptivecast/internal/analysis/registry"
 )
 
 func TestEachAnalyzerFires(t *testing.T) {
@@ -23,12 +20,15 @@ func TestEachAnalyzerFires(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load seeded fixture: %v", err)
 	}
-	analyzers := []*analysis.Analyzer{
-		atomicfields.Analyzer,
-		lockorder.Analyzer,
-		wirekind.Analyzer,
-		epochfence.Analyzer,
-		internalboundary.New(""),
+	// The registry keeps this list in lockstep with cmd/adaptivelint:
+	// a newly registered analyzer fails here until the fixture seeds a
+	// violation for it. Only internalboundary is swapped, for a facade
+	// list matching the fixture module's layout.
+	analyzers := registry.All()
+	for i, a := range analyzers {
+		if a.Name == "internalboundary" {
+			analyzers[i] = internalboundary.New("")
+		}
 	}
 	diags, err := analysis.Run(pkg, analyzers)
 	if err != nil {

@@ -7,6 +7,9 @@
 //   - lockorder:        acquiring hi (rank 10) while holding lo (rank 20)
 //   - wirekind:         a FrameKind switch missing frameB
 //   - epochfence:       the frameA case never calls the declared gate
+//   - chanowner:        a send on the queue channel outside its owner
+//   - buflife:          a pooled buffer leaked on the early-return path
+//   - goroleak:         a launch whose body never observes its stop
 package main
 
 import (
@@ -18,11 +21,17 @@ import (
 
 //adaptivelint:lockrank state.hi=10 state.lo=20
 //adaptivelint:epochfence kinds=frameA gate=gateEpoch
+//adaptivelint:bufpool type=encPool get=get put=put releaser=releaser
+//adaptivelint:goroutines checked
 
 type state struct {
 	hi   sync.Mutex
 	lo   sync.Mutex
 	hits atomic.Int64
+	//adaptivelint:chan owner=feed close=never
+	queue chan int
+	//adaptivelint:chan owner=none close=shutdown
+	stop chan struct{}
 }
 
 type FrameKind byte
@@ -32,8 +41,58 @@ const (
 	frameB FrameKind = 2
 )
 
+type encBuf struct{ b []byte }
+
+type encPool struct{}
+
+func (p *encPool) get() *encBuf               { return &encBuf{} }
+func (p *encPool) put(eb *encBuf)             {}
+func (p *encPool) releaser(eb *encBuf) func() { return func() { p.put(eb) } }
+
+func feed(s *state, v int) {
+	s.queue <- v
+}
+
+func shutdown(s *state) {
+	close(s.stop)
+}
+
+// sideDoor sends on queue from outside its declared owner (chanowner).
+func sideDoor(s *state, v int) {
+	s.queue <- v
+}
+
+// leakyEncode drops the pooled buffer on the early return (buflife).
+func leakyEncode(p *encPool, fail bool) []byte {
+	eb := p.get()
+	if fail {
+		return nil
+	}
+	out := eb.b
+	p.put(eb)
+	return out
+}
+
+// drain spins on queue without ever observing s.stop (goroleak).
+func drain(s *state) {
+	for range s.queue {
+	}
+}
+
+func launch(s *state) {
+	//adaptivelint:goroutine stop=s.stop
+	go drain(s)
+}
+
 func main() {
 	var s state
+	s.queue = make(chan int, 1)
+	s.stop = make(chan struct{})
+	launch(&s)
+	feed(&s, 1)
+	sideDoor(&s, 2)
+	_ = leakyEncode(&encPool{}, true)
+	shutdown(&s)
 
 	s.lo.Lock()
 	s.hi.Lock() // lockorder: rank inversion

@@ -50,9 +50,11 @@ const KindTypeName = "FrameKind"
 // Analyzer keeps frame kinds, the fuzz corpus, and the codec switches
 // coherent.
 var Analyzer = &analysis.Analyzer{
-	Name: "wirekind",
-	Doc:  "every FrameKind×version pair needs a fuzz seed, every FrameKind switch must be exhaustive, and varint-sized allocations must be clamped",
-	Run:  run,
+	Name:       "wirekind",
+	Doc:        "every FrameKind×version pair needs a fuzz seed, every FrameKind switch must be exhaustive, and varint-sized allocations must be clamped",
+	BugClass:   "silently undecodable or unfuzzed wire frames; attacker-sized allocations",
+	Directives: []string{"//adaptivelint:wirecorpus <dir>", "//adaptivelint:wirekind versions=<n>,<n>"},
+	Run:        run,
 }
 
 func run(pass *analysis.Pass) error {

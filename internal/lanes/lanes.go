@@ -246,6 +246,7 @@ func (s *Scheduler) peerFor(to topology.NodeID) (*peer, error) {
 	}
 	s.peers[to] = p
 	s.wg.Add(1)
+	//adaptivelint:goroutine stop=p.stop
 	go p.loop()
 	return p, nil
 }
@@ -312,10 +313,16 @@ func (s *Scheduler) Close() error {
 }
 
 // peer is one destination's queues plus its drain goroutine's state.
+// Channel ownership and the drain goroutine's lifecycle are declared
+// for adaptivelint (chanowner, goroleak).
+//
+//adaptivelint:goroutines checked
 type peer struct {
-	s    *Scheduler
-	to   topology.NodeID
+	s  *Scheduler
+	to topology.NodeID
+	//adaptivelint:chan owner=peer.kick close=never
 	wake chan struct{}
+	//adaptivelint:chan owner=none close=Scheduler.Close
 	stop chan struct{}
 
 	mu        sync.Mutex

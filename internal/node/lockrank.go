@@ -27,6 +27,14 @@ package node
 // the epoch-bearing kinds must call epochGate before touching any node
 // state — see Node.handle and Node.epochGate.
 //
+// The goroutines, bufpool and bufshared directives are the package's
+// lifecycle contracts (wave-2 analyzers): every go statement must
+// declare the stop signal its body observes (goroleak), and every
+// buffer obtained from encodePool — or release callback fanned out
+// through sharedRelease — must be spent exactly once on every path
+// (buflife). Channel ownership is declared per field on the Node
+// struct (chanowner).
+//
 //adaptivelint:lockrank Node.memberMu=10 Node.planMu=20 Node.viewMu=30
 //adaptivelint:lockrank Node.reannMu=40 Node.peerMu=40 Node.cadMu=40 Node.leaseMu=40
 //adaptivelint:lockrank deliveredSet.mu=40 forwardCache.mu=40
@@ -34,3 +42,6 @@ package node
 //adaptivelint:noblockingcalls Node.viewMu
 //adaptivelint:blockingpkg adaptivecast/internal/transport adaptivecast/internal/lanes
 //adaptivelint:epochfence kinds=FrameData,FrameKnowledgeDelta gate=epochGate
+//adaptivelint:goroutines checked
+//adaptivelint:bufpool type=encodePool get=get put=put releaser=releaser
+//adaptivelint:bufshared type=sharedRelease acquire=acquire

@@ -75,7 +75,7 @@ type Stats struct {
 	StaleEpochFrames    int // frames fenced off because they carried an older membership epoch
 	EpochChanges        int // membership epoch adoptions (joins/leaves applied, catch-ups included)
 
-	// Send-path counters (see Config.LaneScheduler and the encode pool).
+	// Send-path counters (see Config.DisableLaneScheduler and the encode pool).
 	LaneDrops        LaneDrops // outbound frames shed by the lane scheduler, per lane
 	CoalescedFlushes int       // data flushes that carried >= 2 distinct coalesced frames
 	CoalescedFrames  int       // data frames that shared a flush with at least one other
@@ -232,15 +232,17 @@ type Config struct {
 	// requires delta heartbeats and all peers to understand wire
 	// version 2 frames.
 	AdaptiveCadenceMax int
-	// LaneScheduler routes outbound frames through a per-peer prioritized
-	// lane scheduler (control > data > telemetry): sends become
-	// asynchronous hand-offs to bounded per-peer queues, protocol-critical
-	// control frames (heartbeats, deltas, membership repairs) are never
-	// shed and overtake queued data, and each peer's data drains in
-	// coalesced batches through the transport's multi-frame fast path.
-	// Off by default — sends then stay synchronous on the calling
-	// goroutine, exactly the pre-scheduler behavior.
-	LaneScheduler bool
+	// DisableLaneScheduler turns off the per-peer prioritized lane
+	// scheduler (control > data > telemetry) and reverts every send to a
+	// synchronous transport call on the calling goroutine. The scheduler
+	// is on by default: sends are asynchronous hand-offs to bounded
+	// per-peer queues, protocol-critical control frames (heartbeats,
+	// deltas, membership repairs) are never shed and overtake queued
+	// data, and each peer's data drains in coalesced batches through the
+	// transport's multi-frame fast path. Disable it only when the
+	// synchronous direct path is required — deterministic single-threaded
+	// drivers, or tests pinning per-call transport behavior.
+	DisableLaneScheduler bool
 	// LaneQueueDepth bounds each peer's data lane when the scheduler is
 	// on (default 256). At the high watermark new data frames are shed
 	// and counted in Stats.LaneDrops; the control lane is never bounded.
@@ -248,7 +250,7 @@ type Config struct {
 	// AggregationWindow holds queued data frames back up to this long so
 	// several broadcasts to one peer coalesce into one transport flush.
 	// 0 (the default) flushes as soon as the peer's drain goroutine gets
-	// to the frame. Only meaningful with LaneScheduler; control frames
+	// to the frame. Only meaningful with the scheduler on; control frames
 	// are never held back.
 	AggregationWindow time.Duration
 	// Hooks are optional instrumentation callbacks.
@@ -363,7 +365,7 @@ type Node struct {
 	borrowDecode bool
 
 	// lanes is the optional prioritized send scheduler
-	// (Config.LaneScheduler); nil keeps every send synchronous on the
+	// (on unless Config.DisableLaneScheduler); nil keeps every send synchronous on the
 	// calling goroutine. encPool recycles outbound frame encode buffers
 	// across sends (sound because of the transport Send ownership rule:
 	// buffers are only borrowed for the duration of a send).
@@ -430,11 +432,14 @@ type Node struct {
 	closed  atomic.Bool
 	started atomic.Bool
 
+	//adaptivelint:chan owner=Node.pushDelivery close=never
 	deliveries chan Delivery
-	stop       chan struct{}
-	done       chan struct{}
-	startOnce  sync.Once
-	stopOnce   sync.Once
+	//adaptivelint:chan owner=none close=Node.Stop
+	stop chan struct{}
+	//adaptivelint:chan owner=none close=Node.heartbeatLoop
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
 }
 
 // New builds a node over the given transport. If stable storage holds a
@@ -534,7 +539,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 		}
 	}
 	n.seq.Store(resume)
-	if cfg.LaneScheduler {
+	if !cfg.DisableLaneScheduler {
 		n.lanes = lanes.New(tr, lanes.Config{
 			QueueDepth: cfg.LaneQueueDepth,
 			Window:     cfg.AggregationWindow,
@@ -548,6 +553,7 @@ func New(cfg Config, tr transport.Transport) (*Node, error) {
 func (n *Node) Start() {
 	n.startOnce.Do(func() {
 		n.started.Store(true)
+		//adaptivelint:goroutine stop=n.stop
 		go n.heartbeatLoop()
 	})
 }

@@ -158,11 +158,16 @@ func TestDeliveredWatermarkCompaction(t *testing.T) {
 }
 
 // TestBroadcastPartialFailureReturnsSeq pins the partial-failure
-// contract: when every send fails after the broadcast was initiated (seq
-// consumed, local delivery queued), the caller gets the real seq with the
-// error so a half-sent broadcast can be deduped instead of retried blind.
+// contract on the direct (scheduler-disabled) send path: when every
+// send fails after the broadcast was initiated (seq consumed, local
+// delivery queued), the caller gets the real seq with the error so a
+// half-sent broadcast can be deduped instead of retried blind. With the
+// default lane scheduler, sends are asynchronous hand-offs and such
+// failures surface through stats, not the Broadcast return.
 func TestBroadcastPartialFailureReturnsSeq(t *testing.T) {
-	nodes, fabric := convergedLine3(t, nil)
+	nodes, fabric := convergedLine3(t, func(i int) Config {
+		return Config{DisableLaneScheduler: true}
+	})
 	nd := nodes[0]
 
 	okSeq, _, err := nd.Broadcast([]byte("healthy"))

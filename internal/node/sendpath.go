@@ -3,10 +3,11 @@ package node
 // The send path: every outbound frame leaves the node through the
 // helpers in this file. They pick between two modes —
 //
-//   - direct (Config.LaneScheduler off): the synchronous transport call
-//     the node always made, release invoked as soon as the call returns
-//     (the transport only borrows the buffer for the call's duration);
-//   - scheduled: an asynchronous hand-off to the per-peer lane scheduler
+//   - direct (Config.DisableLaneScheduler): the synchronous transport
+//     call the node originally made, release invoked as soon as the call
+//     returns (the transport only borrows the buffer for the call's
+//     duration);
+//   - scheduled (the default): an asynchronous hand-off to the per-peer lane scheduler
 //     (internal/lanes), which flushes control ahead of data, sheds under
 //     backpressure, and may coalesce several data frames to one peer
 //     into a single multi-frame transport flush.
@@ -91,8 +92,14 @@ func (r *sharedRelease) acquire() func() {
 }
 
 func (r *sharedRelease) put() {
-	if r.left.Add(-1) == 0 {
+	switch n := r.left.Add(-1); {
+	case n == 0:
 		r.release()
+	case n < 0:
+		// A callback ran twice: the buffer behind release is already back
+		// in the pool and may be mid-reuse by another send. Fail loudly —
+		// a silent double-release is a cross-frame data corruption.
+		panic("sendpath: sharedRelease callback invoked twice")
 	}
 }
 

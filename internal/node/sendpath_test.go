@@ -149,7 +149,6 @@ func TestAggregationWindowPreservesOrderAndSet(t *testing.T) {
 	defer func() { _ = fabric.Close() }()
 	nodes := buildCluster(t, g, fabric, func(i int) Config {
 		return Config{
-			LaneScheduler:     true,
 			AggregationWindow: 5 * time.Millisecond,
 			DeliveryBuffer:    msgs + 4,
 		}
@@ -202,7 +201,7 @@ func TestLaneSchedulerClusterDelivers(t *testing.T) {
 	fabric := transport.NewFabric(transport.FabricOptions{})
 	defer func() { _ = fabric.Close() }()
 	nodes := buildCluster(t, g, fabric, func(i int) Config {
-		return Config{LaneScheduler: true, DeliveryBuffer: 4 * msgs}
+		return Config{DeliveryBuffer: 4 * msgs}
 	})
 	defer func() {
 		for _, nd := range nodes {
@@ -261,7 +260,7 @@ func TestJoinLandsDuringDataSaturation(t *testing.T) {
 		fabric.SetLoss(topology.NodeID(i), topology.NodeID((i+1)%4), 0.05)
 	}
 	nodes := buildCluster(t, g, fabric, func(i int) Config {
-		return Config{LaneScheduler: true, LaneQueueDepth: 1}
+		return Config{LaneQueueDepth: 1}
 	})
 	defer func() {
 		for _, nd := range nodes {
@@ -283,7 +282,7 @@ func TestJoinLandsDuringDataSaturation(t *testing.T) {
 	}
 
 	joiner := joinNode(t, fabric, 4, 5, []topology.NodeID{0, 2}, 1, nil,
-		Config{LaneScheduler: true, LaneQueueDepth: 1})
+		Config{LaneQueueDepth: 1})
 	nodes = append(nodes, joiner)
 	settleTicks(nodes, 3)
 

@@ -230,6 +230,7 @@ func (f *Fabric) Endpoint(id topology.NodeID) Transport {
 	if f.opts.SendCost > 0 {
 		ep.links = make(map[topology.NodeID]*linkBuf)
 	}
+	//adaptivelint:goroutine stop=ep.stop
 	go ep.receiveLoop()
 	f.endpoints[id] = ep
 	return ep
@@ -432,8 +433,11 @@ type fabricEndpoint struct {
 	linksMu sync.Mutex
 	links   map[topology.NodeID]*linkBuf
 
-	queue     chan inboundFrame
-	stop      chan struct{}
+	//adaptivelint:chan owner=Fabric.route,Fabric.routeBatch close=never
+	queue chan inboundFrame
+	//adaptivelint:chan owner=none close=fabricEndpoint.Close
+	stop chan struct{}
+	//adaptivelint:chan owner=none close=fabricEndpoint.receiveLoop
 	done      chan struct{}
 	closeOnce sync.Once
 }

@@ -71,10 +71,13 @@ type TCP struct {
 	framesSent atomic.Int64
 	bytesSent  atomic.Int64
 
+	//adaptivelint:chan owner=TCP.readLoop close=never
 	inbound chan inboundFrame
-	stop    chan struct{}
-	done    chan struct{}
-	wg      sync.WaitGroup
+	//adaptivelint:chan owner=none close=TCP.Close
+	stop chan struct{}
+	//adaptivelint:chan owner=none close=TCP.dispatchLoop
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // TCPStats counts outbound transport work. Flushes is the number of
@@ -129,7 +132,9 @@ func NewTCP(local topology.NodeID, listenAddr string, peers map[topology.NodeID]
 		t.peers[id] = addr
 	}
 	t.wg.Add(1)
+	//adaptivelint:goroutine stop=t.closed
 	go t.acceptLoop()
+	//adaptivelint:goroutine stop=t.stop
 	go t.dispatchLoop()
 	return t, nil
 }
@@ -341,6 +346,7 @@ func (t *TCP) acceptLoop() {
 		t.inConns[conn] = struct{}{}
 		t.mu.Unlock()
 		t.wg.Add(1)
+		//adaptivelint:goroutine stop=t.stop
 		go t.readLoop(conn)
 	}
 }

@@ -10,6 +10,12 @@
 // Transports deliver opaque byte frames; the wire package handles
 // encoding. Handlers are invoked on the transport's receive goroutine, one
 // frame at a time per node, so node state machines see serialized input.
+//
+// The package opts into adaptivelint's goroutine-lifecycle rule: every
+// go statement declares the stop signal its body observes (goroleak),
+// and every channel field declares its sender and closer (chanowner).
+//
+//adaptivelint:goroutines checked
 package transport
 
 import "adaptivecast/internal/topology"

@@ -182,19 +182,22 @@ func WithForwardCache(size int) Option {
 	}
 }
 
-// WithLaneScheduler routes outbound frames through a per-peer
-// prioritized lane scheduler (control > data > telemetry): sends become
-// asynchronous hand-offs to bounded per-peer queues, protocol-critical
-// control frames (heartbeats, knowledge deltas, membership changes) are
-// never shed and overtake queued data, and each peer's data drains in
-// coalesced batches through the transport's multi-frame fast path. This
-// is the high-throughput datapath: under broadcast saturation it keeps
-// the knowledge plane's control traffic flowing at its usual latency
-// while data throughput rises with batching. Off by default — sends
-// then stay synchronous on the calling goroutine. Scheduler behavior is
+// WithLaneScheduler enables or disables the per-peer prioritized lane
+// scheduler (control > data > telemetry). It is ON by default: sends
+// are asynchronous hand-offs to bounded per-peer queues,
+// protocol-critical control frames (heartbeats, knowledge deltas,
+// membership changes) are never shed and overtake queued data, and each
+// peer's data drains in coalesced batches through the transport's
+// multi-frame fast path. This is the high-throughput datapath: under
+// broadcast saturation it keeps the knowledge plane's control traffic
+// flowing at its usual latency while data throughput rises with
+// batching. WithLaneScheduler(false) opts out and reverts every send to
+// a synchronous transport call on the calling goroutine — the
+// pre-scheduler behavior, for deterministic drivers or callers that
+// need per-call send errors to surface inline. Scheduler behavior is
 // observable via NodeStats.LaneDrops / CoalescedFlushes.
-func WithLaneScheduler() Option {
-	return func(c *nodeConfig) { c.inner.LaneScheduler = true }
+func WithLaneScheduler(enabled bool) Option {
+	return func(c *nodeConfig) { c.inner.DisableLaneScheduler = !enabled }
 }
 
 // WithLaneQueueDepth bounds each peer's data lane when the lane
@@ -212,7 +215,7 @@ func WithLaneQueueDepth(depth int) Option {
 // transport flush (one syscall on TCP, one lock acquisition on the
 // in-process fabric, however many frames the flush carries). 0 — the
 // default — flushes as soon as the peer's drain goroutine reaches the
-// frame; the window only applies with WithLaneScheduler, and control
+// frame; the window only applies with the lane scheduler on, and control
 // frames are never held back. Coalescing effectiveness is observable
 // via NodeStats.CoalescedFlushes / CoalescedFrames.
 func WithAggregationWindow(w time.Duration) Option {
