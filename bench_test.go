@@ -644,6 +644,18 @@ func loopPair() (*loopEnd, *loopEnd) {
 	return a, b
 }
 
+// tickPair advances both nodes one period and yields so the lane
+// scheduler's per-peer drain goroutines actually flush onto the loop
+// transport before the next period. Without the yield a tight benchmark
+// loop on GOMAXPROCS=1 starves the drains entirely — no frame is ever
+// delivered, acks never flow, and the "steady state" being measured is
+// a cluster that has never heard from itself.
+func tickPair(n0, n1 *node.Node) {
+	n0.Tick()
+	n1.Tick()
+	runtime.Gosched()
+}
+
 // BenchmarkHeartbeatSteadyState measures the per-period heartbeat cost of
 // a converged two-node system on the live wire path. The delta/full
 // sub-benchmarks quantify the knowledge-delta win: once estimates
@@ -671,18 +683,81 @@ func BenchmarkHeartbeatSteadyState(b *testing.B) {
 			}
 			n0, n1 := mk(0, trA), mk(1, trB)
 			for i := 0; i < 300; i++ { // converge the estimates
-				n0.Tick()
-				n1.Tick()
+				tickPair(n0, n1)
 			}
 			start := n0.Stats().HeartbeatBytesSent
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				n0.Tick()
-				n1.Tick()
+				tickPair(n0, n1)
 			}
 			b.StopTimer()
 			spent := n0.Stats().HeartbeatBytesSent - start
 			b.ReportMetric(float64(spent)/float64(b.N), "hb-bytes/period")
+		})
+	}
+}
+
+// BenchmarkHeartbeatQuantized measures the wire v4 win on the live send
+// path: the same converged two-node system as HeartbeatSteadyState, but
+// with the quantized belief profile negotiated on both sides. The
+// in-benchmark assertions pin the acceptance numbers — full-snapshot
+// heartbeats at least 1.7x smaller than the raw profile, delta
+// heartbeats no worse (converged deltas are near-empty either way, so
+// there is nothing left for quantization to shrink).
+func BenchmarkHeartbeatQuantized(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"delta", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			mkPair := func(quantized bool) (*node.Node, *node.Node) {
+				trA, trB := loopPair()
+				mk := func(id topology.NodeID, tr transport.Transport) *node.Node {
+					nd, err := node.New(node.Config{
+						ID:                     id,
+						NumProcs:               2,
+						Neighbors:              []topology.NodeID{1 - id},
+						DisableDeltaHeartbeats: mode.disable,
+						QuantizedBeliefs:       quantized,
+					}, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return nd
+				}
+				n0, n1 := mk(0, trA), mk(1, trB)
+				for i := 0; i < 300; i++ { // converge estimates and negotiation
+					tickPair(n0, n1)
+				}
+				return n0, n1
+			}
+
+			// Untimed raw-profile baseline over a fixed window.
+			r0, r1 := mkPair(false)
+			rawStart := r0.Stats().HeartbeatBytesSent
+			const rawWindow = 400
+			for i := 0; i < rawWindow; i++ {
+				tickPair(r0, r1)
+			}
+			rawPer := float64(r0.Stats().HeartbeatBytesSent-rawStart) / rawWindow
+
+			n0, n1 := mkPair(true)
+			start := n0.Stats().HeartbeatBytesSent
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tickPair(n0, n1)
+			}
+			b.StopTimer()
+			quantPer := float64(n0.Stats().HeartbeatBytesSent-start) / float64(b.N)
+			b.ReportMetric(quantPer, "hb-bytes/period")
+			b.ReportMetric(rawPer/quantPer, "v3-to-v4-ratio")
+			if mode.name == "full" && rawPer/quantPer < 1.7 {
+				b.Errorf("quantized full heartbeats are only %.2fx smaller than raw (%.1fB vs %.1fB), want >= 1.7x",
+					rawPer/quantPer, quantPer, rawPer)
+			}
+			if mode.name == "delta" && quantPer > rawPer*1.05 {
+				b.Errorf("quantized delta heartbeats regressed: %.1fB/period vs %.1fB raw", quantPer, rawPer)
+			}
 		})
 	}
 }
@@ -719,14 +794,12 @@ func BenchmarkHeartbeatAdaptiveCadence(b *testing.B) {
 			// epsilon, so the controller holds its cap through the
 			// measured window instead of snap-cycling on re-stamps.
 			for i := 0; i < 650; i++ {
-				n0.Tick()
-				n1.Tick()
+				tickPair(n0, n1)
 			}
 			start := n0.Stats().HeartbeatsSent
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				n0.Tick()
-				n1.Tick()
+				tickPair(n0, n1)
 			}
 			b.StopTimer()
 			frames := n0.Stats().HeartbeatsSent - start
@@ -790,6 +863,11 @@ func BenchmarkForwardFanout(b *testing.B) {
 				Neighbors:        []topology.NodeID{0},
 				ForwardCacheSize: mode.size,
 				DeliveryBuffer:   1, // deliveries overflow silently; not under test
+				// Direct sends: this benchmark isolates the forward path
+				// (decode, tree rebuild, per-child fanout) and counts sends
+				// synchronously; the lane scheduler's contribution is
+				// measured by BenchmarkForwardPipelined.
+				DisableLaneScheduler: true,
 			}, sink)
 			if err != nil {
 				b.Fatal(err)

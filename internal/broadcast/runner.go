@@ -296,15 +296,11 @@ func (r *Runner) stepNode(i int) {
 		}
 	}
 	v.BeginPeriod()
-	suspAny := false
-	if r.cad != nil {
-		suspAny = v.AnySuspected()
-	}
 	for _, nb := range g.Neighbors(id) {
 		declared := 1
 		if r.cad != nil {
 			var due bool
-			declared, due = r.cadenceStep(i, nb, suspAny)
+			declared, due = r.cadenceStep(i, nb, v.Suspected(nb))
 			if !due {
 				continue
 			}
@@ -323,15 +319,19 @@ func (r *Runner) stepNode(i int) {
 // neighbor nb by one period and decides whether a heartbeat is due now
 // (see internal/cadence for the stretch/snap-back policy shared with
 // the live node). Stability is value-quiescence since the last send,
-// with no active suspicion.
-func (r *Runner) cadenceStep(i int, nb topology.NodeID, suspAny bool) (declared int, due bool) {
+// with no active suspicion of this neighbor — suspicion is scoped to
+// the suspect's own link, matching the live node: suspecting one dead
+// neighbor permanently pins only that link at δ, while the healthy
+// neighbors snap back just long enough for the (suspicion-dirtied)
+// estimates to reach them and then re-stretch.
+func (r *Runner) cadenceStep(i int, nb topology.NodeID, suspected bool) (declared int, due bool) {
 	v := r.views[i]
 	nc := r.cad[i][nb]
 	if nc == nil {
 		nc = &neighborCadence{state: cadence.New()}
 		r.cad[i][nb] = nc
 	}
-	stable := !suspAny && nc.lastVer > 0 && v.QuiescentSince(nc.lastVer)
+	stable := !suspected && nc.lastVer > 0 && v.QuiescentSince(nc.lastVer)
 	declared, due = nc.state.Step(stable, r.opts.AdaptiveCadenceMax)
 	if due {
 		nc.lastVer = v.Version()

@@ -90,6 +90,15 @@ type Params struct {
 	// refine (default 400): re-gridding around a transient early MAP
 	// would lock the window away from the truth.
 	RefineMinObs int
+	// LinkAgeTimeout is the quiet-period count after which a remote link
+	// estimate's distortion ages one step (default 8). Links have no
+	// Event-3 self-observation keeping them fresh — a converged link stops
+	// shipping in deltas entirely — so they age on a slower clock than
+	// processes; like process aging, the threshold scales with the
+	// supplying neighbor's declared inbound cadence so stretched gossip
+	// paths don't decay knowledge that is merely arriving slowly.
+	// Incident links (distortion 0) and unknown links never age.
+	LinkAgeTimeout int
 	// DeltaEpsilon is the minimum posterior-mean movement for an estimate
 	// to count as changed for delta heartbeats (View.DeltaSince): a record
 	// is re-shipped once its mean has drifted more than DeltaEpsilon from
@@ -120,6 +129,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.MaxTimeout == 0 {
 		p.MaxTimeout = 16
+	}
+	if p.LinkAgeTimeout == 0 {
+		p.LinkAgeTimeout = 8
 	}
 	if p.RefineMass == 0 {
 		// Half the posterior mass in one interval is already strong
@@ -226,7 +238,13 @@ type procState struct {
 	timeout     int    // ∆_k[p_j] in periods
 	sinceUpdate int    // periods since this estimate was last refreshed
 	cadence     int    // declared inter-frame gap in periods (0 or 1 = every δ)
-	sig         wireSig
+	// supplier is the neighbor whose merge last supplied this estimate
+	// (topology.None for self-measured or never-adopted records): Event-2
+	// aging of non-neighbor estimates scales with the supplier's declared
+	// inbound cadence, so a stretched gossip path doesn't decay knowledge
+	// that is merely arriving slowly.
+	supplier topology.NodeID
+	sig      wireSig
 }
 
 // effCadence is the neighbor's declared heartbeat cadence with the
@@ -256,7 +274,13 @@ type linkState struct {
 	shared  bool
 	refined bool // AutoRefine already re-gridded this estimator
 	dist    int
-	sig     wireSig
+	// supplier and sinceUpdate drive the remote-link flavor of Event-2
+	// aging (see Params.LinkAgeTimeout): supplier is the neighbor whose
+	// merge last supplied this estimate, sinceUpdate the quiet periods
+	// since. Incident links (dist 0) never age and ignore both.
+	supplier    topology.NodeID
+	sinceUpdate int
+	sig         wireSig
 }
 
 // mutable returns the estimator, cloning it first if it might be shared.
@@ -309,9 +333,10 @@ func NewView(self topology.NodeID, n int, neighbors []topology.NodeID, interner 
 	}
 	for i := range v.procs {
 		v.procs[i] = procState{
-			est:     bayes.MustNew(params.Intervals),
-			dist:    DistInf,
-			timeout: params.InitialTimeout,
+			est:      bayes.MustNew(params.Intervals),
+			dist:     DistInf,
+			timeout:  params.InitialTimeout,
+			supplier: topology.None,
 		}
 	}
 	v.procs[self].dist = 0 // p_k sees itself with no distortion
@@ -323,7 +348,7 @@ func NewView(self topology.NodeID, n int, neighbors []topology.NodeID, interner 
 		v.neighbor[nb] = true
 		idx := v.interner.Intern(topology.NewLink(self, nb))
 		v.ensureLinks(idx)
-		v.links[idx] = &linkState{est: bayes.MustNew(params.Intervals), dist: 0, sig: wireSig{dirty: true}}
+		v.links[idx] = &linkState{est: bayes.MustNew(params.Intervals), dist: 0, supplier: topology.None, sig: wireSig{dirty: true}}
 	}
 	return v, nil
 }
@@ -368,9 +393,10 @@ func (v *View) Grow(newN int) {
 	}
 	for i := v.n; i < newN; i++ {
 		v.procs = append(v.procs, procState{
-			est:     bayes.MustNew(v.params.Intervals),
-			dist:    DistInf,
-			timeout: v.params.InitialTimeout,
+			est:      bayes.MustNew(v.params.Intervals),
+			dist:     DistInf,
+			timeout:  v.params.InitialTimeout,
+			supplier: topology.None,
 		})
 		v.neighbor = append(v.neighbor, false)
 	}
@@ -430,9 +456,10 @@ func (v *View) AddNeighbor(nb topology.NodeID) error {
 	idx := v.interner.Intern(topology.NewLink(v.self, nb))
 	v.ensureLinks(idx)
 	if v.links[idx] == nil {
-		v.links[idx] = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0, sig: wireSig{dirty: true}}
+		v.links[idx] = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0, supplier: topology.None, sig: wireSig{dirty: true}}
 	} else {
 		v.links[idx].dist = 0
+		v.links[idx].sinceUpdate = 0
 		v.links[idx].sig.dirty = true
 	}
 	// The neighbor's sequence accounting restarts from scratch: the first
@@ -482,12 +509,20 @@ func (v *View) BeginPeriod() {
 			continue // tombstoned: never aged or suspected again
 		}
 		ps.sinceUpdate++
-		// Expected arrivals scale with the neighbor's declared heartbeat
-		// cadence: a neighbor that promised one frame every c periods is
+		// Expected arrivals scale with the declared heartbeat cadence of
+		// whoever delivers the news. For a direct neighbor that is the
+		// neighbor itself: one promised frame every c periods means it is
 		// only "silent" after timeout·c quiet periods, so stretched
-		// neighbors are not falsely suspected. Non-neighbors never declare
-		// a cadence (effCadence() == 1), keeping their aging unchanged.
-		if ps.sinceUpdate < ps.timeout*ps.effCadence() {
+		// neighbors are not falsely suspected. For a non-neighbor it is
+		// the supplying neighbor's inbound cadence — its estimate can only
+		// arrive as fast as the gossip hop feeding us, so a stretched
+		// supply route ages the copy slower instead of decaying knowledge
+		// that is merely in transit.
+		scale := ps.effCadence()
+		if !v.neighbor[j] {
+			scale = v.supplierCadence(ps.supplier)
+		}
+		if ps.sinceUpdate < ps.timeout*scale {
 			continue
 		}
 		// Event 2: no update of p_j's estimate for ∆_k[p_j].
@@ -505,6 +540,38 @@ func (v *View) BeginPeriod() {
 			// unbiased and uncontaminated by sender downtime.
 		}
 	}
+
+	// Event 2 for remote links: a copy nobody refreshes decays instead of
+	// freezing (churn that lengthens a gossip path would otherwise pin a
+	// stale estimate at its old, low distortion forever — fresher copies
+	// could never win adoption). Aging is local confidence decay, not
+	// news, so like process aging it never sets the dirty bit; the aged
+	// distortion ships whenever the record is next re-shipped anyway.
+	// Incident links (dist 0) are self-measured every reception and never
+	// age; unknown links (DistInf) have nothing left to decay.
+	for _, ls := range v.links {
+		if ls == nil || ls.dist == 0 || ls.dist == DistInf {
+			continue
+		}
+		ls.sinceUpdate++
+		if ls.sinceUpdate < v.params.LinkAgeTimeout*v.supplierCadence(ls.supplier) {
+			continue
+		}
+		ls.sinceUpdate = 0
+		ls.dist = bump(ls.dist)
+	}
+}
+
+// supplierCadence is the declared inbound cadence of the neighbor that
+// last supplied an adopted estimate, or 1 when the record is
+// self-measured, never adopted, or its supplier is not currently a
+// direct neighbor (a departed or demoted supplier can't deliver news at
+// any cadence, so the copy ages on the unscaled clock).
+func (v *View) supplierCadence(sup topology.NodeID) int {
+	if sup < 0 || int(sup) >= v.n || !v.neighbor[sup] {
+		return 1
+	}
+	return v.procs[sup].effCadence()
 }
 
 // maybeRefine applies the dynamic-precision extension to the estimates
@@ -657,7 +724,7 @@ func (v *View) mergeEstimates(src *View) bool {
 		if depCheck && (v.procs[i].departed || src.procs[i].departed) {
 			continue
 		}
-		if v.adoptProc(&v.procs[i], &src.procs[i]) {
+		if v.adoptProc(&v.procs[i], &src.procs[i], src.self) {
 			changed = true
 		}
 	}
@@ -686,7 +753,7 @@ func (v *View) mergeEstimates(src *View) bool {
 		mine := v.links[idx]
 		if mine == nil {
 			theirs.shared = true
-			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist), sig: wireSig{dirty: true}}
+			v.links[idx] = &linkState{est: theirs.est, shared: true, dist: bump(theirs.dist), supplier: src.self, sig: wireSig{dirty: true}}
 			changed = true
 			continue
 		}
@@ -695,6 +762,8 @@ func (v *View) mergeEstimates(src *View) bool {
 			mine.est = theirs.est
 			mine.shared = true
 			mine.dist = bump(theirs.dist)
+			mine.supplier = src.self
+			mine.sinceUpdate = 0
 			mine.sig.dirty = true
 			changed = true
 		}
@@ -708,7 +777,7 @@ func (v *View) mergeEstimates(src *View) bool {
 // suspicion counters and timeouts are local observations about the
 // *neighbor link*, not part of the propagated estimate, and are never
 // adopted.
-func (v *View) adoptProc(mine, theirs *procState) bool {
+func (v *View) adoptProc(mine, theirs *procState, supplier topology.NodeID) bool {
 	if theirs.dist >= mine.dist {
 		return false
 	}
@@ -716,6 +785,7 @@ func (v *View) adoptProc(mine, theirs *procState) bool {
 	mine.est = theirs.est
 	mine.shared = true
 	mine.dist = bump(theirs.dist)
+	mine.supplier = supplier
 	mine.sinceUpdate = 0
 	mine.sig.dirty = true
 	return true
@@ -760,7 +830,7 @@ func (v *View) reconcileLink(from topology.NodeID, senderSeq uint64, cadence int
 		v.neighbor[from] = true
 		idx := v.interner.Intern(topology.NewLink(v.self, from))
 		v.ensureLinks(idx)
-		ls = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0}
+		ls = &linkState{est: bayes.MustNew(v.params.Intervals), dist: 0, supplier: topology.None}
 		v.links[idx] = ls
 	}
 	ls.sig.dirty = true // success/failure evidence below moves the estimate

@@ -269,6 +269,7 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 		mine.est = est // freshly decoded: exclusively ours
 		mine.shared = false
 		mine.dist = bump(pr.Dist)
+		mine.supplier = s.From
 		mine.sinceUpdate = 0
 		mine.sig.dirty = true
 		changed = true
@@ -289,7 +290,7 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 			if err != nil {
 				return changed, fmt.Errorf("knowledge: link %v estimate: %w", lr.Link, err)
 			}
-			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist), sig: wireSig{dirty: true}}
+			v.links[idx] = &linkState{est: est, dist: bump(lr.Dist), supplier: s.From, sig: wireSig{dirty: true}}
 			changed = true
 			continue
 		}
@@ -303,6 +304,8 @@ func (v *View) mergeSnapshotEstimates(s *Snapshot) (changed bool, err error) {
 		mine.est = est // freshly decoded: exclusively ours
 		mine.shared = false
 		mine.dist = bump(lr.Dist)
+		mine.supplier = s.From
+		mine.sinceUpdate = 0
 		mine.sig.dirty = true
 		changed = true
 	}

@@ -37,6 +37,23 @@ import (
 // nothing until a membership change actually happens, and old peers
 // interoperate in a static cluster by reading epoch-0 frames as their own.
 //
+// Version 4 adds capability negotiation and the quantized belief profile.
+// A v4 heartbeat carries a Caps uvarint (the sender's highest supported
+// wire version, ≥ 4 by construction) before its snapshot; a v4 delta
+// carries the same uvarint after Epoch; a v4 join appends the subject's
+// Caps after the neighbor list. Inside a v4 frame, estimator states may
+// use two additional layouts — flagQUniform and flagQWindow — that ship
+// log beliefs (and refined midpoints) as uint16 fixed-point codes over a
+// shared scale instead of float64s (see internal/bayes/quant.go for the
+// scheme and its ≤1e-3 error budget). The encoder emits version 4 only
+// when Caps is set, which the node does only toward peers that advertised
+// v4 themselves (or as a periodic capability hello), so every frame to a
+// non-v4 peer stays byte-identical to the v3-era encoding. Data frames
+// never encode as v4: they are encoded once and relayed verbatim across
+// peers with mixed capabilities, so their estimates always ride the raw
+// profile. Leave frames also stay v3 (a departing node has nothing to
+// negotiate).
+//
 // Integers are varints (unsigned for sequence numbers, lengths and
 // counts; zigzag for node IDs, distortions and allocations, which can be
 // negative sentinels), floats are 8-byte little-endian IEEE 754, byte
@@ -50,9 +67,18 @@ const (
 	version     = 1
 	version2    = 2 // delta frames carrying a stretched Cadence
 	version3    = 3 // nonzero membership epoch; join/leave frames
+	version4    = 4 // capability advert; quantized belief profile
 	headerSize  = 3
 	flagUniform = 1 << 0 // estimator state: midpoints are the uniform grid
 	flagRefined = 0      // (midpoints explicit; no flag bits set)
+
+	// Quantized estimator layouts, legal only inside version-4 frames.
+	// flagQUniform is flagUniform's quantized twin (uniform grid, count
+	// only); flagQWindow carries a refined grid with exact first/last
+	// midpoints and uint16 interior codes. The raw layouts stay legal in
+	// v4 frames — the encoder falls back to them for degenerate states.
+	flagQUniform = 2
+	flagQWindow  = 3
 )
 
 // appendUvarint, appendVarint etc. build on the stdlib append helpers; a
@@ -62,6 +88,7 @@ const (
 type reader struct {
 	b      []byte
 	off    int
+	ver    byte // frame version from the header; gates v4-only layouts
 	borrow bool // byte fields alias b instead of copying (DecodeBorrow)
 	err    error
 }
@@ -158,6 +185,30 @@ func (r *reader) floats(n int, what string) []float64 {
 	return out
 }
 
+// caps reads a version-4 capability advert: the sender's highest
+// supported wire version. A v4 frame advertising less than v4 is
+// self-contradictory and rejected.
+func (r *reader) caps() uint64 {
+	v := r.uvarint()
+	if r.err == nil && (v < version4 || v > MaxCaps) {
+		r.fail("v4 frame advertises caps %d", v)
+	}
+	return v
+}
+
+func (r *reader) uint16v() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 2 {
+		r.fail("truncated fixed-point code")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
 func (r *reader) bytes(what string) []byte {
 	n := r.count(what)
 	if r.err != nil || n == 0 {
@@ -227,6 +278,58 @@ func (r *reader) estimator() bayes.State {
 	case flagRefined:
 		n := r.count("midpoints")
 		s.Mids = r.floats(n, "midpoints")
+	case flagQUniform:
+		if r.ver < version4 {
+			r.fail("quantized estimator in a version-%d frame", r.ver)
+			return s
+		}
+		// One count serves both mids and beliefs; each belief below takes
+		// 2 bytes.
+		u := r.uvarint()
+		if r.err != nil {
+			return s
+		}
+		if u > uint64(r.remaining()/2+1) {
+			r.fail("quantized grid count %d exceeds frame", u)
+			return s
+		}
+		s.Mids = bayes.UniformGridMids(int(u))
+		s.LogBeliefs = r.qbeliefs(int(u))
+		return s
+	case flagQWindow:
+		if r.ver < version4 {
+			r.fail("quantized estimator in a version-%d frame", r.ver)
+			return s
+		}
+		u := r.uvarint()
+		if r.err != nil {
+			return s
+		}
+		if u < 2 || u > uint64(r.remaining()/2+1) {
+			r.fail("quantized window count %d invalid", u)
+			return s
+		}
+		first, last := r.float(), r.float()
+		if r.err != nil {
+			return s
+		}
+		// Clamp the support window at decode so a hostile frame cannot
+		// smuggle out-of-(0,1) midpoints through the dequantizer.
+		if !(first > 0 && first < 1) || !(last > first && last < 1) {
+			r.fail("quantized window [%v,%v] outside (0,1)", first, last)
+			return s
+		}
+		mids := make([]float64, u)
+		mids[0], mids[u-1] = first, last
+		for i := 1; i < int(u)-1 && r.err == nil; i++ {
+			mids[i] = bayes.DequantizeMid(r.uint16v(), first, last)
+		}
+		if r.err != nil {
+			return s
+		}
+		s.Mids = mids
+		s.LogBeliefs = r.qbeliefs(int(u))
+		return s
 	default:
 		r.fail("unknown estimator flags %#x", flags)
 		return s
@@ -234,6 +337,81 @@ func (r *reader) estimator() bayes.State {
 	n := r.count("beliefs")
 	s.LogBeliefs = r.floats(n, "beliefs")
 	return s
+}
+
+// qbeliefs reads a quantized log-belief block: a shared float64 scale
+// followed by n uint16 codes. The scale is clamped into
+// [bayes.BeliefFloor, 0] and the block re-normalized to a 0 maximum, so
+// a quantized merge can never produce out-of-support estimates no matter
+// what a hostile frame ships.
+func (r *reader) qbeliefs(n int) []float64 {
+	scale := r.float()
+	if r.err != nil {
+		return nil
+	}
+	if math.IsNaN(scale) || scale > 0 {
+		r.fail("quantized belief scale %v invalid", scale)
+		return nil
+	}
+	if scale < bayes.BeliefFloor {
+		scale = bayes.BeliefFloor
+	}
+	if r.remaining() < 2*n {
+		r.fail("beliefs: %d fixed-point codes exceed frame", n)
+		return nil
+	}
+	out := make([]float64, n)
+	maxLb := math.Inf(-1)
+	for i := range out {
+		out[i] = bayes.DequantizeBelief(r.uint16v(), scale)
+		if out[i] > maxLb {
+			maxLb = out[i]
+		}
+	}
+	// Honest blocks always contain a code-0 belief (the estimator rebases
+	// its maximum to 0 before encoding), making this a no-op; rebase here
+	// anyway so decoded beliefs always satisfy the ≤0 support invariant
+	// with a representable maximum.
+	if n > 0 && maxLb < 0 {
+		for i := range out {
+			out[i] -= maxLb
+		}
+	}
+	return out
+}
+
+// appendEstimatorQuant is appendEstimator in the v4 quantized profile:
+// beliefs (and refined midpoints) ship as uint16 fixed-point codes over
+// a shared scale. Degenerate states — too few intervals, mismatched
+// lengths, a collapsed refined window — fall back to the raw layout,
+// which stays legal inside v4 frames.
+func appendEstimatorQuant(b []byte, s *bayes.State) []byte {
+	u := len(s.Mids)
+	if u < 2 || len(s.LogBeliefs) != u {
+		return appendEstimator(b, s)
+	}
+	if s.HasUniformMids() {
+		b = append(b, flagQUniform)
+		b = binary.AppendUvarint(b, uint64(u))
+	} else {
+		first, last := s.Mids[0], s.Mids[u-1]
+		if !(first > 0 && first < 1) || !(last > first && last < 1) {
+			return appendEstimator(b, s)
+		}
+		b = append(b, flagQWindow)
+		b = binary.AppendUvarint(b, uint64(u))
+		b = appendFloat(b, first)
+		b = appendFloat(b, last)
+		for _, m := range s.Mids[1 : u-1] {
+			b = binary.LittleEndian.AppendUint16(b, bayes.QuantizeMid(m, first, last))
+		}
+	}
+	scale := bayes.BeliefQuantScale(s.LogBeliefs)
+	b = appendFloat(b, scale)
+	for _, lb := range s.LogBeliefs {
+		b = binary.LittleEndian.AppendUint16(b, bayes.QuantizeBelief(lb, scale))
+	}
+	return b
 }
 
 // ---------------------------------------------------------------------------
@@ -259,7 +437,10 @@ func snapshotSize(s *knowledge.Snapshot) int {
 	return n
 }
 
-func appendSnapshot(b []byte, s *knowledge.Snapshot) []byte {
+// appendSnapshot writes a snapshot's record section. quant selects the
+// v4 quantized estimator profile; callers must pass false unless the
+// surrounding frame encodes as version 4.
+func appendSnapshot(b []byte, s *knowledge.Snapshot, quant bool) []byte {
 	b = binary.AppendVarint(b, int64(s.From))
 	b = binary.AppendUvarint(b, s.Seq)
 	b = binary.AppendUvarint(b, uint64(len(s.Procs)))
@@ -267,7 +448,11 @@ func appendSnapshot(b []byte, s *knowledge.Snapshot) []byte {
 		pr := &s.Procs[i]
 		b = binary.AppendVarint(b, int64(pr.ID))
 		b = binary.AppendVarint(b, int64(pr.Dist))
-		b = appendEstimator(b, &pr.Est)
+		if quant {
+			b = appendEstimatorQuant(b, &pr.Est)
+		} else {
+			b = appendEstimator(b, &pr.Est)
+		}
 	}
 	b = binary.AppendUvarint(b, uint64(len(s.Links)))
 	for i := range s.Links {
@@ -275,7 +460,11 @@ func appendSnapshot(b []byte, s *knowledge.Snapshot) []byte {
 		b = binary.AppendVarint(b, int64(lr.Link.A))
 		b = binary.AppendVarint(b, int64(lr.Link.B))
 		b = binary.AppendVarint(b, int64(lr.Dist))
-		b = appendEstimator(b, &lr.Est)
+		if quant {
+			b = appendEstimatorQuant(b, &lr.Est)
+		} else {
+			b = appendEstimator(b, &lr.Est)
+		}
 	}
 	return b
 }
@@ -331,9 +520,10 @@ func deltaSize(d *KnowledgeDelta) int {
 // the fixed-cost liveness header of a near-empty steady-state delta stays
 // a handful of bytes. The cadence uvarint exists only in version-2+
 // frames (version-1 frames imply cadence 1); the epoch uvarint only in
-// version-3 frames (earlier versions imply epoch 0).
-func appendDelta(b []byte, d *KnowledgeDelta, ver byte) []byte {
-	return appendSnapshot(appendDeltaHeader(b, d, ver), d.Snap)
+// version-3 frames (earlier versions imply epoch 0); the caps uvarint
+// only in version-4 frames.
+func appendDelta(b []byte, d *KnowledgeDelta, ver byte, quant bool) []byte {
+	return appendSnapshot(appendDeltaHeader(b, d, ver), d.Snap, quant)
 }
 
 // appendDeltaHeader writes the delta's version bookkeeping without its
@@ -349,6 +539,9 @@ func appendDeltaHeader(b []byte, d *KnowledgeDelta, ver byte) []byte {
 	}
 	if ver >= version3 {
 		b = binary.AppendUvarint(b, d.Epoch)
+	}
+	if ver >= version4 {
+		b = binary.AppendUvarint(b, d.Caps)
 	}
 	return b
 }
@@ -367,6 +560,9 @@ func (r *reader) delta(ver byte) *KnowledgeDelta {
 	}
 	if ver >= version3 {
 		d.Epoch = r.uvarint()
+	}
+	if ver >= version4 {
+		d.Caps = r.caps()
 	}
 	d.Snap = r.snapshot()
 	if r.err != nil {
@@ -403,8 +599,10 @@ func appendData(b []byte, m *DataMsg, ver byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(m.Body)))
 	b = append(b, m.Body...)
 	if m.Piggyback != nil {
+		// Data frames never encode as v4 (they are relayed verbatim across
+		// mixed-capability peers), so the piggyback is always raw-profile.
 		b = append(b, 1)
-		b = appendSnapshot(b, m.Piggyback)
+		b = appendSnapshot(b, m.Piggyback, false)
 	} else {
 		b = append(b, 0)
 	}
@@ -461,10 +659,10 @@ func (r *reader) data(ver byte) *DataMsg {
 // ---------------------------------------------------------------------------
 
 func membershipSize(m *Membership) int {
-	return (5 + len(m.Departed) + len(m.Neighbors)) * binary.MaxVarintLen64
+	return (6 + len(m.Departed) + len(m.Neighbors)) * binary.MaxVarintLen64
 }
 
-func appendMembership(b []byte, m *Membership) []byte {
+func appendMembership(b []byte, m *Membership, ver byte) []byte {
 	b = binary.AppendVarint(b, int64(m.Node))
 	b = binary.AppendUvarint(b, m.Epoch)
 	b = binary.AppendUvarint(b, uint64(m.NumProcs))
@@ -475,6 +673,9 @@ func appendMembership(b []byte, m *Membership) []byte {
 	b = binary.AppendUvarint(b, uint64(len(m.Neighbors)))
 	for _, nb := range m.Neighbors {
 		b = binary.AppendVarint(b, int64(nb))
+	}
+	if ver >= version4 {
+		b = binary.AppendUvarint(b, m.Caps)
 	}
 	return b
 }
@@ -504,6 +705,9 @@ func (r *reader) membership() *Membership {
 	for i := 0; i < nNbs && r.err == nil; i++ {
 		m.Neighbors = append(m.Neighbors, r.nodeID())
 	}
+	if r.ver >= version4 {
+		m.Caps = r.caps()
+	}
 	if r.err != nil {
 		return nil
 	}
@@ -521,6 +725,11 @@ func (r *reader) membership() *Membership {
 func frameVersion(f *Frame) byte {
 	switch f.Kind {
 	case FrameHeartbeat:
+		if f.Caps > 0 {
+			// Only a capability advert (and the quantized profile it
+			// unlocks) needs the v4 layout.
+			return version4
+		}
 	case FrameData:
 		if f.Data.Epoch > 0 {
 			// Only a grown/shrunk cluster needs the epoch fence; static
@@ -529,8 +738,13 @@ func frameVersion(f *Frame) byte {
 		}
 	case FrameKnowledgeDelta:
 		return deltaVersion(f.Delta)
-	case FrameJoin, FrameLeave:
+	case FrameJoin:
+		if f.Member.Caps > 0 {
+			return version4
+		}
 		// Membership kinds exist only since v3; no older layout to match.
+		return version3
+	case FrameLeave:
 		return version3
 	}
 	return version
@@ -539,6 +753,9 @@ func frameVersion(f *Frame) byte {
 // deltaVersion is frameVersion for the delta payload alone, shared with
 // the pre-encoded-section fast path (AppendDeltaFrame).
 func deltaVersion(d *KnowledgeDelta) byte {
+	if d.Caps > 0 {
+		return version4
+	}
 	if d.Epoch > 0 {
 		return version3
 	}
@@ -556,7 +773,7 @@ func frameSize(f *Frame) int {
 	size := headerSize
 	switch f.Kind {
 	case FrameHeartbeat:
-		size += snapshotSize(f.Heartbeat)
+		size += snapshotSize(f.Heartbeat) + binary.MaxVarintLen64
 	case FrameData:
 		size += dataSize(f.Data) + binary.MaxVarintLen64
 	case FrameKnowledgeDelta:
@@ -571,16 +788,20 @@ func frameSize(f *Frame) int {
 // validated frame to b. It allocates nothing beyond growing b.
 func appendFrameBytes(b []byte, f *Frame) []byte {
 	ver := frameVersion(f)
+	quant := f.Quant && ver >= version4
 	b = append(b, magic, ver, byte(f.Kind))
 	switch f.Kind {
 	case FrameHeartbeat:
-		b = appendSnapshot(b, f.Heartbeat)
+		if ver >= version4 {
+			b = binary.AppendUvarint(b, f.Caps)
+		}
+		b = appendSnapshot(b, f.Heartbeat, quant)
 	case FrameData:
 		b = appendData(b, f.Data, ver)
 	case FrameKnowledgeDelta:
-		b = appendDelta(b, f.Delta, ver)
+		b = appendDelta(b, f.Delta, ver, quant)
 	case FrameJoin, FrameLeave:
-		b = appendMembership(b, f.Member)
+		b = appendMembership(b, f.Member, ver)
 	}
 	return b
 }
@@ -596,15 +817,23 @@ func decodeBinary(b []byte, borrow bool) (*Frame, error) {
 	if b[0] != magic {
 		return nil, fmt.Errorf("wire: bad magic %#x", b[0])
 	}
-	if b[1] < version || b[1] > version3 {
+	if b[1] < version || b[1] > version4 {
 		return nil, fmt.Errorf("wire: unsupported version %d", b[1])
 	}
 	f := &Frame{Kind: FrameKind(b[2])}
-	r := &reader{b: b, off: headerSize, borrow: borrow}
+	r := &reader{b: b, off: headerSize, ver: b[1], borrow: borrow}
 	switch f.Kind {
 	case FrameHeartbeat:
+		if r.ver >= version4 {
+			f.Caps = r.caps()
+		}
 		f.Heartbeat = r.snapshot()
 	case FrameData:
+		if r.ver >= version4 {
+			// Data frames are encoded once and relayed verbatim across
+			// peers with mixed capabilities; they never ride v4.
+			return nil, errors.New("wire: data frame at version 4")
+		}
 		f.Data = r.data(b[1])
 	case FrameKnowledgeDelta:
 		f.Delta = r.delta(b[1])

@@ -73,9 +73,16 @@ func TestAppendDeltaFrameMatchesEncode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: Encode: %v", i, err)
 		}
-		section, err := AppendSnapshotSection(nil, f.Delta.Snap)
+		// The section profile follows the frame's: quantized seeds splice
+		// a quantized section (the (cut, profile) cache key Tick uses).
+		var section []byte
+		if f.Quant {
+			section, err = AppendSnapshotSectionQuantized(nil, f.Delta.Snap)
+		} else {
+			section, err = AppendSnapshotSection(nil, f.Delta.Snap)
+		}
 		if err != nil {
-			t.Fatalf("seed %d: AppendSnapshotSection: %v", i, err)
+			t.Fatalf("seed %d: snapshot section: %v", i, err)
 		}
 		// The header must not read d.Snap: a shared cut is built for a
 		// whole acked-base group and spliced under per-neighbor headers.

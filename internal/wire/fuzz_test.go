@@ -60,7 +60,48 @@ func seedFrames(tb testing.TB) []*Frame {
 		{Kind: FrameKnowledgeDelta, Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Cadence: 2, Epoch: 4}},
 		{Kind: FrameJoin, Member: &Membership{Node: 5, Epoch: 3, NumProcs: 6, Departed: []topology.NodeID{1}, Neighbors: []topology.NodeID{0, 2}}},
 		{Kind: FrameLeave, Member: &Membership{Node: 1, Epoch: 4, NumProcs: 6, Departed: []topology.NodeID{1, 3}}},
+		// Wire v4: capability-advertising frames. Quant is an encoder
+		// directive (quantized belief profile), not a serialized field —
+		// decoded frames carry Caps only. The uniform-grid delta and the
+		// full heartbeat exercise flagQUniform; the refined snapshot
+		// exercises flagQWindow; the caps-without-Quant delta pins that
+		// raw estimator layouts stay legal inside v4 frames; the join
+		// carries the subject's capability advert.
+		{Kind: FrameKnowledgeDelta, Quant: true,
+			Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Cadence: 2, Epoch: 4, Caps: CapsQuantized}},
+		{Kind: FrameKnowledgeDelta, Quant: true,
+			Delta: &KnowledgeDelta{Snap: v.Snapshot(), Since: 0, Ver: v.Version(), Caps: CapsQuantized}},
+		{Kind: FrameKnowledgeDelta,
+			Delta: &KnowledgeDelta{Snap: delta, Since: baseVer, Ver: v.Version(), Ack: 9, Caps: CapsQuantized}},
+		{Kind: FrameKnowledgeDelta, Quant: true,
+			Delta: &KnowledgeDelta{Snap: refinedSnapshot(tb), Since: 0, Ver: 1, Caps: CapsQuantized}},
+		{Kind: FrameHeartbeat, Heartbeat: snap, Caps: CapsQuantized, Quant: true},
+		{Kind: FrameJoin, Member: &Membership{Node: 5, Epoch: 3, NumProcs: 6, Departed: []topology.NodeID{1}, Neighbors: []topology.NodeID{0, 2}, Caps: CapsQuantized}},
 	}
+}
+
+// refinedSnapshot builds a snapshot whose self-estimate carries a
+// refined (non-uniform) grid, so quantized encodes hit the windowed
+// midpoint layout (flagQWindow), not just the uniform one.
+func refinedSnapshot(tb testing.TB) *knowledge.Snapshot {
+	tb.Helper()
+	v, err := knowledge.NewView(0, 3, []topology.NodeID{1}, nil, knowledge.Params{
+		Intervals: 10, AutoRefine: true, RefineMinObs: 4, RefineMass: 0.1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v.BeginPeriod()
+	}
+	snap := v.Snapshot()
+	for _, pr := range snap.Procs {
+		if !pr.Est.HasUniformMids() {
+			return snap
+		}
+	}
+	tb.Fatal("fixture never produced a refined (non-uniform) grid")
+	return nil
 }
 
 func nodeIDsEqual(a, b []topology.NodeID) bool {
@@ -125,7 +166,7 @@ func framesEqual(a, b *Frame) bool {
 	}
 	switch a.Kind {
 	case FrameHeartbeat:
-		return snapshotsEqual(a.Heartbeat, b.Heartbeat)
+		return a.Caps == b.Caps && snapshotsEqual(a.Heartbeat, b.Heartbeat)
 	case FrameKnowledgeDelta:
 		// Cadence 0 and 1 are the same declaration (one frame per δ), so
 		// they compare equal across a round-trip.
@@ -137,7 +178,7 @@ func framesEqual(a, b *Frame) bool {
 		}
 		return a.Delta.Since == b.Delta.Since && a.Delta.Ver == b.Delta.Ver &&
 			a.Delta.Ack == b.Delta.Ack && normCad(a.Delta.Cadence) == normCad(b.Delta.Cadence) &&
-			a.Delta.Epoch == b.Delta.Epoch &&
+			a.Delta.Epoch == b.Delta.Epoch && a.Delta.Caps == b.Delta.Caps &&
 			snapshotsEqual(a.Delta.Snap, b.Delta.Snap)
 	case FrameData:
 		x, y := a.Data, b.Data
@@ -157,7 +198,7 @@ func framesEqual(a, b *Frame) bool {
 		return snapshotsEqual(x.Piggyback, y.Piggyback)
 	case FrameJoin, FrameLeave:
 		x, y := a.Member, b.Member
-		return x.Node == y.Node && x.Epoch == y.Epoch && x.NumProcs == y.NumProcs &&
+		return x.Node == y.Node && x.Epoch == y.Epoch && x.NumProcs == y.NumProcs && x.Caps == y.Caps &&
 			nodeIDsEqual(x.Departed, y.Departed) && nodeIDsEqual(x.Neighbors, y.Neighbors)
 	}
 	return false
@@ -208,6 +249,24 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		got, err := Decode(b)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if frame.Quant {
+			// The quantized profile is lossy exactly once: the first
+			// decode lands on the fixed-point grid, and from there
+			// encode/decode must be the identity (quantization is a
+			// projection). Compare across a second round-trip.
+			b2, err := Encode(got)
+			if err != nil {
+				t.Fatalf("decoded quantized frame failed to re-encode: %v", err)
+			}
+			again, err := Decode(b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !framesEqual(got, again) {
+				t.Fatalf("quantized round-trip drift: %+v vs %+v", got, again)
+			}
+			continue
 		}
 		if !framesEqual(frame, got) {
 			t.Fatalf("round-trip drift: %+v vs %+v", frame, got)

@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivecast/internal/bayes"
+	"adaptivecast/internal/knowledge"
+	"adaptivecast/internal/topology"
+)
+
+// paperSnapshot builds a snapshot at the paper's estimator precision
+// (U = 100) with a few links, the shape whose size the quantized profile
+// is designed around.
+func paperSnapshot(t *testing.T) *knowledge.Snapshot {
+	t.Helper()
+	v, err := knowledge.NewView(1, 8, []topology.NodeID{0, 2}, nil, knowledge.Params{Intervals: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		v.BeginPeriod()
+	}
+	return v.Snapshot()
+}
+
+// TestQuantizedHeartbeatSizeRatio pins the tentpole's wire-level win: at
+// the paper's U = 100, a quantized v4 heartbeat must be at least 1.7x
+// smaller than the raw encoding of the same snapshot (measured ~3.7x —
+// 2-byte codes replace 8-byte floats for every belief).
+func TestQuantizedHeartbeatSizeRatio(t *testing.T) {
+	snap := paperSnapshot(t)
+	raw, err := Encode(&Frame{Kind: FrameHeartbeat, Heartbeat: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := Encode(&Frame{Kind: FrameHeartbeat, Heartbeat: snap, Caps: CapsQuantized, Quant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(raw)) / float64(len(quant))
+	if ratio < 1.7 {
+		t.Errorf("quantized heartbeat is %dB vs %dB raw — only %.2fx smaller, want >= 1.7x",
+			len(quant), len(raw), ratio)
+	}
+	t.Logf("U=100 heartbeat: raw %dB, quantized %dB (%.2fx smaller)", len(raw), len(quant), ratio)
+}
+
+// TestQuantErrorBound is the satellite property test: across random
+// lossy observation schedules — uniform and refined grids alike — a
+// belief state that crosses the quantized wire moves its posterior mean
+// by less than 1e-3, and further hops add nothing (the projection
+// property makes re-encoding the decoded state byte-identical).
+func TestQuantErrorBound(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 50; trial++ {
+			est := bayes.MustNew(100)
+			p := rng.Float64() * 0.5 // the schedule's true loss rate
+			steps := 1 + rng.Intn(400)
+			for i := 0; i < steps; i++ {
+				factor := 1 + rng.Intn(3)
+				if rng.Float64() < p {
+					est.ObserveFailure(factor)
+				} else {
+					est.ObserveSuccess(factor)
+				}
+			}
+			if trial%3 == 0 {
+				est = est.Refine() // exercise the windowed-midpoint layout
+			}
+			snap := &knowledge.Snapshot{
+				From: 1, Seq: uint64(trial + 1),
+				Procs: []knowledge.ProcRecord{{ID: 0, Dist: 1, Est: est.State()}},
+			}
+			frame := &Frame{Kind: FrameHeartbeat, Heartbeat: snap, Caps: CapsQuantized, Quant: true}
+			b, err := Encode(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Decode(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bayes.NewFromState(f.Heartbeat.Procs[0].Est)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: decoded state rejected: %v", seed, trial, err)
+			}
+			if diff := math.Abs(got.Mean() - est.Mean()); diff > 1e-3 {
+				t.Errorf("seed %d trial %d: quantized mean diverged by %v (> 1e-3) after %d obs at p=%.3f",
+					seed, trial, diff, steps, p)
+			}
+			// Second hop: re-encoding the decoded state must reproduce the
+			// bytes exactly — multi-hop relays accumulate no further error.
+			f.Quant, f.Caps = true, CapsQuantized
+			b2, err := Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, b2) {
+				t.Fatalf("seed %d trial %d: second quantized hop changed the bytes", seed, trial)
+			}
+		}
+	}
+}
+
+// TestQuantizedDecodeRenormalizes pins the decode-side safety clamp: a
+// belief block whose maximum drifts below 0 (a non-rebased sender) comes
+// out of the wire re-normalized to a 0 maximum with the pairwise
+// differences preserved, so a quantized merge can never inject
+// out-of-support estimates.
+func TestQuantizedDecodeRenormalizes(t *testing.T) {
+	st := bayes.State{
+		Mids:       bayes.UniformGridMids(4),
+		LogBeliefs: []float64{-1, -2.5, -3, -1.5},
+	}
+	snap := &knowledge.Snapshot{
+		From: 1, Seq: 1,
+		Procs: []knowledge.ProcRecord{{ID: 0, Dist: 1, Est: st}},
+	}
+	b, err := Encode(&Frame{Kind: FrameHeartbeat, Heartbeat: snap, Caps: CapsQuantized, Quant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Heartbeat.Procs[0].Est.LogBeliefs
+	maxLB := math.Inf(-1)
+	for _, lb := range got {
+		if lb > 0 {
+			t.Fatalf("decoded log belief %v is positive", lb)
+		}
+		if lb > maxLB {
+			maxLB = lb
+		}
+	}
+	if maxLB != 0 {
+		t.Errorf("decoded block maximum is %v, want re-normalized to 0", maxLB)
+	}
+	for i, want := range []float64{0, -1.5, -2, -0.5} {
+		if diff := math.Abs(got[i] - want); diff > 1e-3 {
+			t.Errorf("belief %d: got %v, want %v +- 1e-3 after renormalization", i, got[i], want)
+		}
+	}
+}
+
+// TestCapsValidation pins the well-formedness rules of the capability
+// field and the quantized-profile directive across frame kinds.
+func TestCapsValidation(t *testing.T) {
+	snap := &knowledge.Snapshot{From: 1, Seq: 3}
+	bad := []struct {
+		name string
+		f    *Frame
+	}{
+		{"heartbeat caps below v4", &Frame{Kind: FrameHeartbeat, Heartbeat: snap, Caps: 3}},
+		{"heartbeat caps beyond max", &Frame{Kind: FrameHeartbeat, Heartbeat: snap, Caps: MaxCaps + 1}},
+		{"caps on a data frame", &Frame{Kind: FrameData, Caps: CapsQuantized,
+			Data: &DataMsg{Origin: 0, Seq: 1, Root: 0, Body: []byte("x")}}},
+		{"quantized heartbeat without caps", &Frame{Kind: FrameHeartbeat, Heartbeat: snap, Quant: true}},
+		{"quantized delta without caps", &Frame{Kind: FrameKnowledgeDelta, Quant: true,
+			Delta: &KnowledgeDelta{Snap: snap, Ver: 2}}},
+		{"quantized data frame", &Frame{Kind: FrameData, Quant: true,
+			Data: &DataMsg{Origin: 0, Seq: 1, Root: 0, Body: []byte("x")}}},
+		{"delta caps below v4", &Frame{Kind: FrameKnowledgeDelta,
+			Delta: &KnowledgeDelta{Snap: snap, Ver: 2, Caps: 2}}},
+		{"leave with caps", &Frame{Kind: FrameLeave,
+			Member: &Membership{Node: 1, Epoch: 2, NumProcs: 3, Departed: []topology.NodeID{1}, Caps: CapsQuantized}}},
+		{"join caps beyond max", &Frame{Kind: FrameJoin,
+			Member: &Membership{Node: 2, Epoch: 2, NumProcs: 3, Neighbors: []topology.NodeID{0}, Caps: 300}}},
+	}
+	for _, c := range bad {
+		if _, err := Encode(c.f); err == nil {
+			t.Errorf("%s: Encode should fail", c.name)
+		}
+	}
+}
+
+// TestV4DataFrameRejected pins the mixed-cluster invariant that keeps
+// relays sound: data frames are encoded once and forwarded verbatim
+// across peers of unknown capability, so a version-4 data frame must
+// never exist — decoders drop it outright.
+func TestV4DataFrameRejected(t *testing.T) {
+	b, err := Encode(&Frame{Kind: FrameData, Data: &DataMsg{Origin: 0, Seq: 1, Root: 0, Body: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), b...)
+	forged[1] = version4
+	if _, err := Decode(forged); err == nil {
+		t.Error("version-4 data frame should fail to decode")
+	}
+}
+
+// TestNonCapsFramesStayLegacy pins the negotiation ladder's floor: every
+// frame without a capability advert — whatever else it carries — encodes
+// at wire version <= 3, byte-compatible with peers that predate v4. (The
+// epoch golden tests additionally pin the exact bytes of the static
+// shapes; this covers every seed shape.)
+func TestNonCapsFramesStayLegacy(t *testing.T) {
+	for i, f := range seedFrames(t) {
+		caps := f.Caps
+		switch f.Kind {
+		case FrameKnowledgeDelta:
+			caps = f.Delta.Caps
+		case FrameJoin, FrameLeave:
+			caps = f.Member.Caps
+		}
+		if caps != 0 {
+			continue
+		}
+		b, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[1] > version3 {
+			t.Errorf("seed %d (kind %d) without caps encoded at version %d", i, f.Kind, b[1])
+		}
+	}
+}
+
+// TestQuantizedSectionZeroAlloc extends the zero-alloc encode gate to
+// the quantized profile: cutting a quantized snapshot section into a
+// warm buffer, and assembling a v4 delta frame around a shared section,
+// allocate nothing.
+func TestQuantizedSectionZeroAlloc(t *testing.T) {
+	snap := paperSnapshot(t)
+	buf := make([]byte, 0, 16384)
+	section, err := AppendSnapshotSectionQuantized(buf, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AppendSnapshotSectionQuantized(buf[:0], snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized section encode allocated %.1f times per op, want 0", allocs)
+	}
+
+	d := &KnowledgeDelta{Since: 3, Ver: 5, Ack: 9, Cadence: 2, Epoch: 4, Caps: CapsQuantized}
+	fbuf := make([]byte, 0, len(section)+256)
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := AppendDeltaFrame(fbuf[:0], d, section); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("v4 delta-frame assembly allocated %.1f times per op, want 0", allocs)
+	}
+}

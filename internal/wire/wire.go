@@ -40,15 +40,16 @@ type FrameKind uint8
 //
 //adaptivelint:wirecorpus dir=testdata/fuzz/FuzzDecode magic=0xAC
 const (
-	FrameHeartbeat      FrameKind = iota + 1 //adaptivelint:wirekind versions=1
+	FrameHeartbeat      FrameKind = iota + 1 //adaptivelint:wirekind versions=1,4
 	FrameData                                //adaptivelint:wirekind versions=1,3
-	FrameKnowledgeDelta                      //adaptivelint:wirekind versions=1,2,3
+	FrameKnowledgeDelta                      //adaptivelint:wirekind versions=1,2,3,4
 	// FrameJoin announces a membership epoch change that added a process;
 	// FrameLeave one that removed a process. Both carry a Membership
-	// payload and always encode as wire version 3. Receivers flood them so
-	// every member converges on the new epoch; the epoch number itself
-	// dedups the flood.
-	FrameJoin  //adaptivelint:wirekind versions=3
+	// payload and encode as wire version 3 — or 4 when the join advertises
+	// the subject's capabilities. Receivers flood them so every member
+	// converges on the new epoch; the epoch number itself dedups the
+	// flood.
+	FrameJoin  //adaptivelint:wirekind versions=3,4
 	FrameLeave //adaptivelint:wirekind versions=3
 )
 
@@ -75,6 +76,11 @@ type Membership struct {
 	NumProcs  int
 	Departed  []topology.NodeID
 	Neighbors []topology.NodeID
+	// Caps advertises the subject's highest supported wire version (the
+	// v4 capability negotiation; see CapsQuantized). 0 omits it and the
+	// frame encodes as version 3, byte-identical to pre-caps peers. Only
+	// join frames may carry it — a leaver has nothing to negotiate.
+	Caps uint64
 }
 
 // KnowledgeDelta is the delta-heartbeat payload: a partial knowledge
@@ -116,6 +122,14 @@ type KnowledgeDelta struct {
 	Ack     uint64
 	Cadence uint64
 	Epoch   uint64
+	// Caps advertises the sender's highest supported wire version. 0 —
+	// the pre-negotiation case — encodes exactly as before capabilities
+	// existed (wire version ≤ 3); a nonzero value rides a version-4 frame
+	// and unlocks the quantized belief profile for the record section.
+	// The node sets it only toward peers that have advertised v4
+	// themselves, or as a periodic capability hello toward peers whose
+	// capabilities are still unknown.
+	Caps uint64
 }
 
 // MaxCadence bounds the declared heartbeat cadence a frame may carry.
@@ -123,6 +137,16 @@ type KnowledgeDelta struct {
 // so an unbounded value would let a hostile peer suppress its own failure
 // detection forever; 256 periods is far beyond any sane stretch cap.
 const MaxCadence = 256
+
+// CapsQuantized is the Caps value a node advertising wire v4 (the
+// quantized belief profile) puts on its frames: capability adverts carry
+// the sender's highest supported wire version.
+const CapsQuantized = 4
+
+// MaxCaps bounds the capability value a frame may carry. Caps is a
+// version number, not a bitmask; 255 leaves far more headroom than the
+// format will ever use while keeping hostile values trivially rejectable.
+const MaxCaps = 255
 
 // MaxProcs bounds the ID-space size a membership announcement may
 // declare. Receivers grow their views to NumProcs — one estimator record
@@ -167,6 +191,18 @@ type Frame struct {
 	Delta     *KnowledgeDelta
 	// Member carries the FrameJoin / FrameLeave payload.
 	Member *Membership
+	// Caps advertises the sender's highest supported wire version on a
+	// full heartbeat frame (delta and join frames carry their own Caps
+	// field on their payloads). 0 omits it; a nonzero value rides a
+	// version-4 frame.
+	Caps uint64
+	// Quant selects the v4 quantized belief profile for the frame's
+	// snapshot payload. It is an encoder directive, not itself
+	// serialized: decoders materialize dequantized float states and leave
+	// it false. Effective only when the frame encodes as version 4 (a
+	// nonzero Caps); setting it on a non-v4 frame is a validation error
+	// so a profile mismatch cannot slip out silently.
+	Quant bool
 }
 
 // Encode serializes a frame in the binary wire format.
@@ -238,6 +274,30 @@ func validate(f *Frame) error {
 	if f == nil {
 		return errors.New("wire: nil frame")
 	}
+	if f.Caps != 0 {
+		if f.Kind != FrameHeartbeat {
+			return errors.New("wire: frame-level caps on a non-heartbeat frame")
+		}
+		if f.Caps < CapsQuantized || f.Caps > MaxCaps {
+			return fmt.Errorf("wire: caps %d outside [%d,%d]", f.Caps, CapsQuantized, MaxCaps)
+		}
+	}
+	if f.Quant {
+		switch f.Kind {
+		case FrameHeartbeat:
+			if f.Caps == 0 {
+				return errors.New("wire: quantized heartbeat without a capability advert")
+			}
+		case FrameKnowledgeDelta:
+			if f.Delta == nil || f.Delta.Caps == 0 {
+				return errors.New("wire: quantized delta without a capability advert")
+			}
+		case FrameData, FrameJoin, FrameLeave:
+			return errors.New("wire: quantized profile on a frame kind without estimates")
+		default:
+			return errors.New("wire: quantized profile on a frame kind without estimates")
+		}
+	}
 	switch f.Kind {
 	case FrameHeartbeat:
 		if f.Heartbeat == nil || f.Data != nil || f.Delta != nil || f.Member != nil {
@@ -264,6 +324,9 @@ func validate(f *Frame) error {
 		if f.Delta.Cadence > MaxCadence {
 			return fmt.Errorf("wire: cadence %d exceeds the %d-period bound", f.Delta.Cadence, MaxCadence)
 		}
+		if c := f.Delta.Caps; c != 0 && (c < CapsQuantized || c > MaxCaps) {
+			return fmt.Errorf("wire: caps %d outside [%d,%d]", c, CapsQuantized, MaxCaps)
+		}
 	case FrameJoin, FrameLeave:
 		m := f.Member
 		if m == nil || f.Heartbeat != nil || f.Data != nil || f.Delta != nil {
@@ -288,6 +351,12 @@ func validate(f *Frame) error {
 		}
 		if f.Kind == FrameLeave && len(m.Neighbors) != 0 {
 			return errors.New("wire: leave frame carries joiner links")
+		}
+		if f.Kind == FrameLeave && m.Caps != 0 {
+			return errors.New("wire: leave frame carries a capability advert")
+		}
+		if c := m.Caps; c != 0 && (c < CapsQuantized || c > MaxCaps) {
+			return fmt.Errorf("wire: caps %d outside [%d,%d]", c, CapsQuantized, MaxCaps)
 		}
 		for _, nb := range m.Neighbors {
 			if nb < 0 || int(nb) >= m.NumProcs || nb == m.Node {
